@@ -1,0 +1,117 @@
+//! Criterion benches for the engine's building blocks: memtable, blocks,
+//! bloom filters, WAL append, and the block cache — the substrate costs
+//! underneath every paper figure.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use shield_env::{Env, FileKind, MemEnv};
+use shield_lsm::memtable::MemTable;
+use shield_lsm::sst::block::{Block, BlockBuilder};
+use shield_lsm::sst::filter::{BloomFilterBuilder, BloomFilterReader};
+use shield_lsm::types::{make_internal_key, make_lookup_key, ValueType};
+use shield_lsm::wal::LogWriter;
+use std::hint::black_box;
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memtable");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |b| {
+        let mt = MemTable::new(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            mt.add(i, ValueType::Value, &i.to_be_bytes(), &[0u8; 100]);
+        });
+    });
+    group.bench_function("get_hit", |b| {
+        let mt = MemTable::new(1);
+        for i in 0..100_000u64 {
+            mt.add(i + 1, ValueType::Value, &i.to_be_bytes(), &[0u8; 100]);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            black_box(mt.get(&i.to_be_bytes(), u64::MAX >> 8));
+        });
+    });
+    group.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block");
+    group.sample_size(10);
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
+        .map(|i| {
+            (
+                make_internal_key(format!("key{i:06}").as_bytes(), 1, ValueType::Value),
+                vec![0u8; 100],
+            )
+        })
+        .collect();
+    group.bench_function("build_4k", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::new(16);
+            for (k, v) in &entries {
+                builder.add(k, v);
+            }
+            black_box(builder.finish())
+        });
+    });
+    let mut builder = BlockBuilder::new(16);
+    for (k, v) in &entries {
+        builder.add(k, v);
+    }
+    let block = Arc::new(Block::from_raw(Bytes::from(builder.finish())));
+    group.bench_function("seek", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 37) % 100;
+            let mut it = block.iter();
+            it.seek(&make_lookup_key(format!("key{i:06}").as_bytes(), u64::MAX >> 8));
+            black_box(it.valid())
+        });
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.sample_size(10);
+    let mut builder = BloomFilterBuilder::new(10);
+    for i in 0..100_000u32 {
+        builder.add_key(format!("key{i:08}").as_bytes());
+    }
+    let reader = BloomFilterReader::new(builder.finish());
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("may_contain", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(reader.may_contain(format!("key{i:08}").as_bytes()))
+        });
+    });
+    group.finish();
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(128));
+    group.bench_function("append_128b_record", |b| {
+        let env = MemEnv::new();
+        let file = env.new_writable_file("log", FileKind::Wal).unwrap();
+        let mut w = LogWriter::new(file);
+        let record = [0xabu8; 128];
+        b.iter(|| {
+            w.add_record(black_box(&record)).unwrap();
+            w.flush().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memtable, bench_block, bench_bloom, bench_wal_append);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the crypto substrate — the micro-costs behind
+//! Figure 4: per-call cipher initialization vs bulk keystream throughput,
+//! for both supported algorithms, plus the secure-cache KDF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shield_crypto::{
+    pbkdf2_hmac_sha256, sha256, Algorithm, CipherContext, Dek, NONCE_LEN,
+};
+use std::hint::black_box;
+
+fn bench_cipher_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher_init");
+    group.sample_size(20);
+    for algo in [Algorithm::Aes128Ctr, Algorithm::ChaCha20] {
+        let dek = Dek::generate(algo);
+        let nonce = [7u8; NONCE_LEN];
+        group.bench_function(BenchmarkId::from_parameter(algo), |b| {
+            b.iter(|| black_box(CipherContext::new(black_box(&dek), &nonce)));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 4a's left side: encryption cost per payload size, fresh context
+/// per call (the unbuffered-WAL cost model).
+fn bench_encrypt_with_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encrypt_with_init");
+    group.sample_size(10);
+    let dek = Dek::generate(Algorithm::Aes128Ctr);
+    let nonce = [7u8; NONCE_LEN];
+    for size in [64usize, 512, 4096, 65_536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut buf = vec![0xabu8; size];
+            b.iter(|| {
+                let ctx = CipherContext::new(&dek, &nonce);
+                ctx.encrypt_at(0, black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Bulk keystream throughput with an amortized (reused) context — what
+/// the WAL buffer and chunked compaction encryption achieve.
+fn bench_bulk_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_xor");
+    group.sample_size(10);
+    for algo in [Algorithm::Aes128Ctr, Algorithm::ChaCha20] {
+        let dek = Dek::generate(algo);
+        let ctx = CipherContext::new(&dek, &[7u8; NONCE_LEN]);
+        let mut buf = vec![0u8; 1 << 20];
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function(BenchmarkId::from_parameter(algo), |b| {
+            b.iter(|| ctx.xor_at(0, black_box(&mut buf)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_and_kdf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    group.sample_size(10);
+    let data = vec![0x5au8; 64 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_64k", |b| b.iter(|| sha256(black_box(&data))));
+    group.finish();
+
+    let mut group = c.benchmark_group("kdf");
+    group.sample_size(10);
+    group.bench_function("pbkdf2_2048_iters", |b| {
+        b.iter(|| pbkdf2_hmac_sha256(black_box(b"passkey"), b"salt-16-bytes!!!", 2048, 48));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cipher_init,
+    bench_encrypt_with_init,
+    bench_bulk_throughput,
+    bench_hash_and_kdf
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches over the whole engine: the per-operation view of the
+//! paper's headline comparisons (Fig. 7's fillrandom/readrandom, Fig. 14's
+//! buffer sweep) for all five systems. Absolute numbers depend on the
+//! machine; the *ordering* (Plain ≥ +Buf variants ≥ unbuffered variants on
+//! writes; near-parity on reads) is the reproduction target.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shield_bench::driver::preload;
+use shield_bench::systems::{build_system, SystemHandle, SystemKind, Tuning};
+use shield_bench::workloads::key_bytes;
+use shield_env::MemEnv;
+use shield_lsm::{ReadOptions, WriteOptions};
+use std::hint::black_box;
+
+fn open(kind: SystemKind, tuning: &Tuning) -> SystemHandle {
+    build_system(kind, Arc::new(MemEnv::new()), "db", tuning).expect("open")
+}
+
+/// Fig. 7 (write side): per-put cost across the five systems.
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put_100b");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for kind in SystemKind::ALL {
+        let sys = open(kind, &Tuning::default());
+        let w = WriteOptions::default();
+        let value = [0x61u8; 100];
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                i += 1;
+                sys.db().put(&w, &key_bytes(i % 100_000, 16), black_box(&value)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7 (read side): per-get cost — encryption should be nearly free.
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_100b");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for kind in SystemKind::ALL {
+        let sys = open(kind, &Tuning::default());
+        preload(sys.db(), 20_000, 16, 100);
+        let r = ReadOptions::new();
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                i = (i + 7919) % 20_000;
+                black_box(sys.db().get(&r, &key_bytes(i, 16)).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 14: per-put cost as the SHIELD WAL buffer grows.
+fn bench_wal_buffer_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shield_put_by_wal_buffer");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for buffer in [0usize, 128, 512, 2048] {
+        let mut tuning = Tuning::default();
+        tuning.wal_buffer_size = buffer;
+        let kind = if buffer == 0 { SystemKind::Shield } else { SystemKind::ShieldBuf };
+        let sys = open(kind, &tuning);
+        let w = WriteOptions::default();
+        let value = [0x62u8; 100];
+        let mut i = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(buffer), |b| {
+            b.iter(|| {
+                i += 1;
+                sys.db().put(&w, &key_bytes(i % 100_000, 16), black_box(&value)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_wal_buffer_sweep);
+criterion_main!(benches);

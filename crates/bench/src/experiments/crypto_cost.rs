@@ -1,0 +1,103 @@
+//! Figure 4: the cost anatomy that motivates the WAL buffer (§3.2).
+//!
+//! (a) encryption cost vs file-write cost across payload sizes — the paper
+//! finds encryption ≈ 9× cheaper than writing the same bytes, *but* the
+//! init cost is fixed per call;
+//! (b) the share of a WAL write spent on encryption as KV size varies —
+//! large for small KV pairs, amortized away for large ones.
+
+use std::time::Instant;
+
+use shield_crypto::{Algorithm, CipherContext, Dek, NONCE_LEN};
+use shield_env::{Env, FileKind, PosixEnv};
+
+use crate::experiments::common::{Scale, TempDir};
+use crate::report::Table;
+
+fn time_encrypt(dek: &Dek, nonce: &[u8; NONCE_LEN], payload: &mut [u8], iters: u32) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        // A fresh context per call models OpenSSL's per-call EVP init.
+        let ctx = CipherContext::new(dek, nonce);
+        ctx.encrypt_at(0, payload);
+    }
+    t0.elapsed().as_secs_f64() / f64::from(iters) * 1e6
+}
+
+fn time_file_write(env: &PosixEnv, dir: &str, payload: &[u8], iters: u32) -> f64 {
+    let path = shield_env::join_path(dir, "write-probe");
+    let mut f = env.new_writable_file(&path, FileKind::Other).expect("open");
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f.append(payload).expect("append");
+        f.flush().expect("flush");
+    }
+    let per = t0.elapsed().as_secs_f64() / f64::from(iters) * 1e6;
+    let _ = env.remove_file(&path);
+    per
+}
+
+/// Runs both Figure 4 panels.
+pub fn fig4(scale: &Scale) -> Vec<Table> {
+    let iters = ((100.0 * scale.factor) as u32).clamp(10, 1000);
+    let tmp = TempDir::new("fig4");
+    let env = PosixEnv::new();
+    let dek = Dek::generate(Algorithm::Aes128Ctr);
+    let nonce = [7u8; NONCE_LEN];
+
+    // (a) encryption vs file write across sizes.
+    let mut a = Table::new(
+        "fig4a",
+        "Encryption vs file-write cost (µs per op)",
+        &["size (B)", "encrypt µs", "file write µs", "write/encrypt ratio"],
+    );
+    for size in [64usize, 512, 4096, 65_536, 1 << 20, 4 << 20] {
+        let mut payload = vec![0xabu8; size];
+        let enc = time_encrypt(&dek, &nonce, &mut payload, iters);
+        let wr = time_file_write(&env, &tmp.path(), &payload, iters);
+        a.push_row(vec![
+            size.to_string(),
+            format!("{enc:.2}"),
+            format!("{wr:.2}"),
+            format!("{:.2}x", wr / enc.max(1e-9)),
+        ]);
+    }
+
+    // (b) encryption share of an (unbuffered) encrypted WAL write.
+    let mut b = Table::new(
+        "fig4b",
+        "Encryption share of a WAL write vs KV-pair size",
+        &["kv size (B)", "encrypt µs", "write µs", "encrypt share"],
+    );
+    for size in [16usize, 50, 116, 516, 1040, 4096] {
+        let mut payload = vec![0x5au8; size];
+        let enc = time_encrypt(&dek, &nonce, &mut payload, iters * 4);
+        let wr = time_file_write(&env, &tmp.path(), &payload, iters * 4);
+        let share = enc / (enc + wr) * 100.0;
+        b.push_row(vec![
+            size.to_string(),
+            format!("{enc:.2}"),
+            format!("{wr:.2}"),
+            format!("{share:.1}%"),
+        ]);
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_produces_both_panels() {
+        let tables = fig4(&Scale::new(0.05));
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 6);
+        assert_eq!(tables[1].rows.len(), 6);
+        // Larger payloads must not be cheaper to encrypt than smaller ones
+        // by orders of magnitude (sanity of the measurement loop).
+        let first: f64 = tables[0].rows[0][1].parse().unwrap();
+        let last: f64 = tables[0].rows[5][1].parse().unwrap();
+        assert!(last > first, "4MB encrypt ({last}) should cost more than 64B ({first})");
+    }
+}

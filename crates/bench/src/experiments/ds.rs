@@ -1,0 +1,262 @@
+//! Disaggregated-storage experiments (paper §6.3–§6.4): KDS latency,
+//! dataset growth, resource sensitivity, and the DS / offloaded-compaction
+//! benchmark suites (Figures 16–24).
+
+use std::time::Duration;
+
+use shield_kds::Kds as _;
+use shield_kds::KdsConfig;
+
+use crate::driver::{preload, run_workload, DriverConfig};
+use crate::experiments::common::{bench_network, deploy, DeployKind, Scale};
+use crate::experiments::monolith::ycsb_suite;
+use crate::report::{fmt_ops, fmt_overhead, Table};
+use crate::systems::{SystemKind, Tuning};
+use crate::workloads::{Workload, WorkloadConfig};
+
+/// Systems compared in DS experiments (the paper excludes EncFS here).
+const DS_SYSTEMS: [SystemKind; 3] =
+    [SystemKind::Plain, SystemKind::Shield, SystemKind::ShieldBuf];
+
+/// Figure 16: SHIELD throughput/p99 as KDS latency grows.
+pub fn fig16(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig16",
+        "KDS latency sweep (SHIELD, offloaded compaction)",
+        &["kds latency", "fillrandom", "p99 µs", "DEKs generated"],
+    );
+    for millis in [0u64, 1, 3, 5, 10, 20] {
+        let mut tuning = Tuning::default();
+        tuning.write_buffer_size = 1 << 20;
+        tuning.kds_config = KdsConfig {
+            generation_latency: Duration::from_millis(millis),
+            fetch_latency: Duration::from_millis(millis),
+            ..KdsConfig::default()
+        };
+        let d = deploy(SystemKind::ShieldBuf, DeployKind::DsOffloaded, &tuning, "fig16");
+        let cfg = WorkloadConfig::new(Workload::FillRandom, scale.ds_key_space());
+        let r = run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_write_ops()));
+        let generated = d.sys.kds.as_ref().map_or(0, |k| k.stats().generated);
+        table.push_row(vec![
+            format!("{millis} ms"),
+            fmt_ops(r.throughput()),
+            format!("{:.0}", r.hist.p99_us()),
+            generated.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// Figure 17: overhead stays bounded as the dataset grows (DS setup).
+pub fn fig17(scale: &Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig17",
+        "Dataset-size stress in DS (fillrandom, 240 B values)",
+        &["kv pairs", "RocksDB", "SHIELD+Buf", "overhead"],
+    );
+    for mult in [1u64, 2, 4, 8] {
+        let keys = scale.ds_key_space() * mult;
+        let ops = scale.ds_write_ops() * mult;
+        let mut results = Vec::new();
+        for kind in [SystemKind::Plain, SystemKind::ShieldBuf] {
+            let tuning = Tuning::default();
+            let d = deploy(kind, DeployKind::Ds, &tuning, "fig17");
+            let mut cfg = WorkloadConfig::new(Workload::FillRandom, keys);
+            cfg.value_size = 240; // the paper's stress-test value size
+            results.push(run_workload(d.db(), &DriverConfig::new(cfg, ops)).throughput());
+        }
+        table.push_row(vec![
+            keys.to_string(),
+            fmt_ops(results[0]),
+            fmt_ops(results[1]),
+            fmt_overhead(results[0], results[1]),
+        ]);
+    }
+    vec![table]
+}
+
+/// Figure 18: sensitivity to compute threads (CPU), memory budget (RAM),
+/// and network bandwidth (B/W) — SHIELD with offloaded compaction.
+pub fn fig18(scale: &Scale) -> Vec<Table> {
+    let run = |tuning: &Tuning, bandwidth: Option<u64>| -> f64 {
+        let d = deploy(SystemKind::ShieldBuf, DeployKind::DsOffloaded, tuning, "fig18");
+        if let Some(bw) = bandwidth {
+            let mut model = bench_network();
+            model.bandwidth_bytes_per_sec = Some(bw);
+            d.remote.as_ref().unwrap().set_model(model);
+        }
+        let cfg = WorkloadConfig::new(Workload::FillRandom, scale.ds_key_space());
+        run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_write_ops())).throughput()
+    };
+
+    let mut cpu = Table::new(
+        "fig18a",
+        "CPU sensitivity: threads (writer+background) vs throughput",
+        &["threads", "fillrandom"],
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let mut tuning = Tuning::default();
+        tuning.background_jobs = threads;
+        cpu.push_row(vec![threads.to_string(), fmt_ops(run(&tuning, None))]);
+    }
+
+    let mut ram = Table::new(
+        "fig18b",
+        "Memory sensitivity: memtable + cache budget vs throughput",
+        &["budget", "fillrandom"],
+    );
+    for (mem, cache, label) in [
+        (512 << 10, 1 << 20, "0.5+1 MiB"),
+        (1 << 20, 4 << 20, "1+4 MiB"),
+        (4 << 20, 16 << 20, "4+16 MiB"),
+        (8 << 20, 64 << 20, "8+64 MiB"),
+    ] {
+        let mut tuning = Tuning::default();
+        tuning.write_buffer_size = mem;
+        tuning.block_cache_bytes = cache;
+        ram.push_row(vec![label.to_string(), fmt_ops(run(&tuning, None))]);
+    }
+
+    let mut bw = Table::new(
+        "fig18c",
+        "Bandwidth sensitivity: network bandwidth vs throughput",
+        &["bandwidth", "fillrandom"],
+    );
+    for (bytes_per_sec, label) in [
+        (12_500_000u64, "100 Mbps"),
+        (62_500_000, "500 Mbps"),
+        (125_000_000, "1 Gbps"),
+        (1_250_000_000, "10 Gbps"),
+    ] {
+        let tuning = Tuning::default();
+        bw.push_row(vec![label.to_string(), fmt_ops(run(&tuning, Some(bytes_per_sec)))]);
+    }
+    vec![cpu, ram, bw]
+}
+
+/// Shared micro suite for fig19 (DS) and fig22 (offloaded).
+fn micro_suite(id: &str, title: &str, scale: &Scale, deployment: DeployKind) -> Vec<Table> {
+    let tuning = Tuning::default();
+    let mut table = Table::new(
+        id,
+        title,
+        &["system", "fillrandom", "Δ", "readrandom", "Δ", "mixgraph", "Δ"],
+    );
+    let mut baseline: Option<(f64, f64, f64)> = None;
+    for kind in DS_SYSTEMS {
+        let fill = {
+            let d = deploy(kind, deployment, &tuning, id);
+            let cfg = WorkloadConfig::new(Workload::FillRandom, scale.ds_key_space());
+            run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_write_ops())).throughput()
+        };
+        let (read, mixgraph) = {
+            let d = deploy(kind, deployment, &tuning, id);
+            preload(d.db(), scale.ds_key_space(), 16, 100);
+            let cfg = WorkloadConfig::new(Workload::ReadRandom, scale.ds_key_space());
+            let read =
+                run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_read_ops())).throughput();
+            let cfg = WorkloadConfig::new(Workload::Mixgraph, scale.ds_key_space());
+            let mix = run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_read_ops()))
+                .throughput();
+            (read, mix)
+        };
+        let base = *baseline.get_or_insert((fill, read, mixgraph));
+        table.push_row(vec![
+            kind.label().to_string(),
+            fmt_ops(fill),
+            fmt_overhead(base.0, fill),
+            fmt_ops(read),
+            fmt_overhead(base.1, read),
+            fmt_ops(mixgraph),
+            fmt_overhead(base.2, mixgraph),
+        ]);
+    }
+    vec![table]
+}
+
+/// Shared ratio suite for fig20 (DS) and fig23 (offloaded).
+fn ratio_suite(id: &str, title: &str, scale: &Scale, deployment: DeployKind) -> Vec<Table> {
+    let tuning = Tuning::default();
+    let mut tput = Table::new(
+        &format!("{id}_throughput"),
+        &format!("{title}: throughput"),
+        &["read%", "RocksDB", "SHIELD", "SHIELD+Buf"],
+    );
+    let mut p99 = Table::new(
+        &format!("{id}_p99"),
+        &format!("{title}: p99 latency (µs)"),
+        &["read%", "RocksDB", "SHIELD", "SHIELD+Buf"],
+    );
+    for ratio in [10u32, 50, 90] {
+        let mut tput_row = vec![ratio.to_string()];
+        let mut p99_row = vec![ratio.to_string()];
+        for kind in DS_SYSTEMS {
+            let d = deploy(kind, deployment, &tuning, id);
+            preload(d.db(), scale.ds_key_space(), 16, 100);
+            let cfg =
+                WorkloadConfig::new(Workload::Mixed { read_pct: ratio }, scale.ds_key_space());
+            let r = run_workload(d.db(), &DriverConfig::new(cfg, scale.ds_read_ops()));
+            tput_row.push(fmt_ops(r.throughput()));
+            p99_row.push(format!("{:.0}", r.hist.p99_us()));
+        }
+        tput.push_row(tput_row);
+        p99.push_row(p99_row);
+    }
+    vec![tput, p99]
+}
+
+/// Figure 19: DS micro benchmarks.
+pub fn fig19(scale: &Scale) -> Vec<Table> {
+    micro_suite("fig19", "Disaggregated storage: micro benchmarks", scale, DeployKind::Ds)
+}
+
+/// Figure 20: DS read/write ratios.
+pub fn fig20(scale: &Scale) -> Vec<Table> {
+    ratio_suite("fig20", "Disaggregated storage ratios", scale, DeployKind::Ds)
+}
+
+/// Figure 21: DS YCSB.
+pub fn fig21(scale: &Scale) -> Vec<Table> {
+    ycsb_suite("fig21", "YCSB (disaggregated storage)", scale, DeployKind::Ds, &DS_SYSTEMS)
+}
+
+/// Figure 22: offloaded-compaction micro benchmarks.
+pub fn fig22(scale: &Scale) -> Vec<Table> {
+    micro_suite(
+        "fig22",
+        "Offloaded compaction: micro benchmarks",
+        scale,
+        DeployKind::DsOffloaded,
+    )
+}
+
+/// Figure 23: offloaded-compaction read/write ratios.
+pub fn fig23(scale: &Scale) -> Vec<Table> {
+    ratio_suite("fig23", "Offloaded compaction ratios", scale, DeployKind::DsOffloaded)
+}
+
+/// Figure 24: offloaded-compaction YCSB.
+pub fn fig24(scale: &Scale) -> Vec<Table> {
+    ycsb_suite(
+        "fig24",
+        "YCSB (offloaded compaction)",
+        scale,
+        DeployKind::DsOffloaded,
+        &DS_SYSTEMS,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig16_smoke() {
+        // Only the two cheapest latency points at tiny scale.
+        let tables = fig16(&Scale::new(0.02));
+        assert_eq!(tables[0].rows.len(), 6);
+        // DEKs were actually generated through the KDS.
+        let generated: u64 = tables[0].rows[0][3].parse().unwrap();
+        assert!(generated > 0);
+    }
+}

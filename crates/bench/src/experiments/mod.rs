@@ -1,0 +1,180 @@
+//! One experiment per table/figure of the paper's evaluation (§6).
+//!
+//! Every experiment is a function `fn(&Scale) -> Vec<Table>`; the `paper`
+//! binary runs them by id and writes CSVs. See `DESIGN.md` for the
+//! experiment ↔ module index and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub mod ablation;
+pub mod common;
+pub mod compaction;
+pub mod crypto_cost;
+pub mod ds;
+pub mod monolith;
+
+pub use common::Scale;
+
+use crate::report::Table;
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// Id used on the command line and for CSV files ("fig7", "table2").
+    pub id: &'static str,
+    /// What the paper artifact shows.
+    pub title: &'static str,
+    /// Runs the experiment at the given scale.
+    pub run: fn(&Scale) -> Vec<Table>,
+}
+
+/// Every experiment, in paper order.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig4",
+            title: "Encryption vs file-write cost; encryption share of WAL writes",
+            run: crypto_cost::fig4,
+        },
+        Experiment {
+            id: "table2",
+            title: "Impact of encryption for WAL-writes (none / SST-only / all)",
+            run: monolith::table2,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Monolith micro benchmarks: fillrandom / readrandom / mixgraph",
+            run: monolith::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "Monolith mixed read/write ratios: throughput and p99",
+            run: monolith::fig8,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Monolith YCSB A-F",
+            run: monolith::fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Sensitivity: value sizes",
+            run: monolith::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Sensitivity: writer threads",
+            run: monolith::fig11,
+        },
+        Experiment {
+            id: "fig12",
+            title: "Sensitivity: background threads",
+            run: monolith::fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Sensitivity: encryption chunk sizes and threads (compaction time)",
+            run: compaction::fig13,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Sensitivity: WAL buffer sizes",
+            run: monolith::fig14,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Compaction policies with offloaded compaction",
+            run: compaction::fig15,
+        },
+        Experiment {
+            id: "table3",
+            title: "R/W I/O distribution (GiB) per compaction style and node",
+            run: compaction::table3,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Sensitivity: KDS latency",
+            run: ds::fig16,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Stress: increasing dataset sizes in DS",
+            run: ds::fig17,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Sensitivity: CPU / memory / network bandwidth",
+            run: ds::fig18,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Disaggregated storage: micro benchmarks",
+            run: ds::fig19,
+        },
+        Experiment {
+            id: "fig20",
+            title: "Disaggregated storage: read/write ratios",
+            run: ds::fig20,
+        },
+        Experiment {
+            id: "fig21",
+            title: "Disaggregated storage: YCSB",
+            run: ds::fig21,
+        },
+        Experiment {
+            id: "fig22",
+            title: "Offloaded compaction: micro benchmarks",
+            run: ds::fig22,
+        },
+        Experiment {
+            id: "fig23",
+            title: "Offloaded compaction: read/write ratios",
+            run: ds::fig23,
+        },
+        Experiment {
+            id: "fig24",
+            title: "Offloaded compaction: YCSB",
+            run: ds::fig24,
+        },
+        Experiment {
+            id: "ablation_cache",
+            title: "Ablation: secure DEK cache vs cacheless restart",
+            run: ablation::ablation_cache,
+        },
+        Experiment {
+            id: "ablation_cipher",
+            title: "Ablation: AES-128-CTR vs ChaCha20",
+            run: ablation::ablation_cipher,
+        },
+        Experiment {
+            id: "ablation_kds_path",
+            title: "Ablation: KDS generation latency on the write path",
+            run: ablation::ablation_kds_path,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let exps = all_experiments();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len());
+    }
+
+    #[test]
+    fn covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        for required in [
+            "fig4", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "table3", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+            "fig22", "fig23", "fig24",
+        ] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic random number generation for reproducible workloads.
+
+/// xorshift64* — fast, deterministic, good enough for workload shaping.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a non-zero seed (0 is remapped).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Rng { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fills `buf` with deterministic bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+/// Zipfian distribution over `[0, n)` (YCSB's generator, Gray et al.).
+///
+/// Hot items are the *scrambled* low ranks, as in YCSB's
+/// `ScrambledZipfianGenerator`, so popularity is spread over the keyspace.
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+impl Zipfian {
+    /// Standard YCSB constant θ = 0.99, scrambled.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99, true)
+    }
+
+    /// Custom skew; `scramble` maps ranks through a hash.
+    #[must_use]
+    pub fn with_theta(n: u64, theta: f64, scramble: bool) -> Self {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            scramble,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; capped for large n by sampling tail mass is not
+        // needed at benchmark scales (n ≤ a few million).
+        let mut sum = 0.0;
+        for i in 1..=n.min(10_000_000) {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Draws an item in `[0, n)`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            // FNV-style scramble, then clamp into range.
+            rank.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) % self.n
+        } else {
+            rank
+        }
+    }
+}
+
+/// YCSB-D's "latest" distribution: recency-skewed over a growing keyspace.
+pub struct Latest {
+    zipf: Zipfian,
+}
+
+impl Latest {
+    /// Over a window of `n` most-recent items.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        Latest { zipf: Zipfian::with_theta(n, 0.99, false) }
+    }
+
+    /// Draws an offset back from `max_key` (0 = the newest key).
+    pub fn sample(&self, rng: &mut Rng, max_key: u64) -> u64 {
+        let back = self.zipf.sample(rng);
+        max_key.saturating_sub(back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(9);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_is_deterministic() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        Rng::new(5).fill(&mut a);
+        Rng::new(5).fill(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, [0u8; 13]);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let z = Zipfian::with_theta(1000, 0.99, false);
+        let mut rng = Rng::new(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must dominate rank 500 heavily.
+        assert!(counts[0] > counts[500] * 10, "{} vs {}", counts[0], counts[500]);
+        // All samples in range (implicitly, via indexing).
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hotspots() {
+        let z = Zipfian::new(1000);
+        let mut rng = Rng::new(1);
+        let mut max_item = 0;
+        for _ in 0..10_000 {
+            max_item = max_item.max(z.sample(&mut rng));
+        }
+        // Scrambling should reach deep into the keyspace.
+        assert!(max_item > 500);
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let l = Latest::new(1000);
+        let mut rng = Rng::new(3);
+        let mut recent = 0;
+        let total = 10_000;
+        for _ in 0..total {
+            if l.sample(&mut rng, 10_000) > 9_900 {
+                recent += 1;
+            }
+        }
+        // Far more than the uniform 1% should land in the newest 1%.
+        assert!(recent > total / 20, "recent = {recent}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Workload generators: db_bench-style micro benchmarks, Mixgraph, and
+//! YCSB core workloads A–F (paper §6.1).
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible and multi-threaded runs partition the seed space.
+
+use crate::rng::{Latest, Rng, Zipfian};
+
+/// One database operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert/overwrite.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Point read.
+    Get { key: Vec<u8> },
+    /// Range scan of `len` keys.
+    Scan { key: Vec<u8>, len: usize },
+    /// Read-modify-write (YCSB-F).
+    ReadModifyWrite { key: Vec<u8>, value: Vec<u8> },
+}
+
+/// Which workload to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// db_bench `fillrandom`: uniform random puts.
+    FillRandom,
+    /// db_bench `readrandom`: uniform random gets.
+    ReadRandom,
+    /// db_bench `readrandomwriterandom` with the given read percentage.
+    Mixed {
+        /// Percentage of reads (0–100).
+        read_pct: u32,
+    },
+    /// Mixgraph-like: zipfian keys, small skewed values,
+    /// get/put/scan ≈ 83/14/3 (Cao et al., FAST'20).
+    Mixgraph,
+    /// YCSB-A: 50% read / 50% update, zipfian.
+    YcsbA,
+    /// YCSB-B: 95% read / 5% update, zipfian.
+    YcsbB,
+    /// YCSB-C: 100% read, zipfian.
+    YcsbC,
+    /// YCSB-D: 95% read-latest / 5% insert.
+    YcsbD,
+    /// YCSB-E: 95% scan / 5% insert.
+    YcsbE,
+    /// YCSB-F: 50% read / 50% read-modify-write, zipfian.
+    YcsbF,
+}
+
+impl Workload {
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Workload::FillRandom => "fillrandom".into(),
+            Workload::ReadRandom => "readrandom".into(),
+            Workload::Mixed { read_pct } => format!("mixed-r{read_pct}"),
+            Workload::Mixgraph => "mixgraph".into(),
+            Workload::YcsbA => "ycsb-a".into(),
+            Workload::YcsbB => "ycsb-b".into(),
+            Workload::YcsbC => "ycsb-c".into(),
+            Workload::YcsbD => "ycsb-d".into(),
+            Workload::YcsbE => "ycsb-e".into(),
+            Workload::YcsbF => "ycsb-f".into(),
+        }
+    }
+}
+
+/// Workload shape parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// The operation mix.
+    pub workload: Workload,
+    /// Number of distinct keys addressed.
+    pub key_space: u64,
+    /// Key size in bytes (db_bench default 16).
+    pub key_size: usize,
+    /// Value size in bytes (db_bench default 100).
+    pub value_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// db_bench-like defaults: 16-byte keys, 100-byte values.
+    #[must_use]
+    pub fn new(workload: Workload, key_space: u64) -> Self {
+        WorkloadConfig { workload, key_space, key_size: 16, value_size: 100, seed: 0x5eed }
+    }
+}
+
+/// Formats key id `n` as a fixed-width db_bench-style key.
+#[must_use]
+pub fn key_bytes(n: u64, key_size: usize) -> Vec<u8> {
+    let digits = format!("{n:016}");
+    let mut key = vec![b'0'; key_size];
+    let copy = digits.len().min(key_size);
+    key[key_size - copy..].copy_from_slice(&digits.as_bytes()[digits.len() - copy..]);
+    key
+}
+
+/// A deterministic stream of operations for one thread.
+pub struct OpGenerator {
+    cfg: WorkloadConfig,
+    rng: Rng,
+    zipf: Option<Zipfian>,
+    latest: Option<Latest>,
+    /// Key ids inserted by this generator (for D/E insert growth);
+    /// allocated from a disjoint per-thread range above `key_space`.
+    insert_base: u64,
+    inserted: u64,
+}
+
+impl OpGenerator {
+    /// Creates the generator for `thread_index` of `total_threads`.
+    #[must_use]
+    pub fn new(cfg: &WorkloadConfig, thread_index: u64) -> Self {
+        let needs_zipf = matches!(
+            cfg.workload,
+            Workload::Mixgraph
+                | Workload::YcsbA
+                | Workload::YcsbB
+                | Workload::YcsbC
+                | Workload::YcsbE
+                | Workload::YcsbF
+        );
+        let needs_latest = matches!(cfg.workload, Workload::YcsbD);
+        OpGenerator {
+            cfg: cfg.clone(),
+            rng: Rng::new(cfg.seed ^ (thread_index.wrapping_mul(0x9e3779b97f4a7c15) | 1)),
+            zipf: needs_zipf.then(|| Zipfian::new(cfg.key_space.max(1))),
+            latest: needs_latest.then(|| Latest::new(cfg.key_space.max(1))),
+            insert_base: cfg.key_space + thread_index * (1 << 30),
+            inserted: 0,
+        }
+    }
+
+    fn key(&self, id: u64) -> Vec<u8> {
+        key_bytes(id, self.cfg.key_size)
+    }
+
+    fn value(&mut self, size: usize) -> Vec<u8> {
+        let mut v = vec![0u8; size];
+        self.rng.fill(&mut v);
+        // Keep values printable-ish and compress-resistant.
+        for b in &mut v {
+            *b = b'a' + (*b % 26);
+        }
+        v
+    }
+
+    fn uniform_key(&mut self) -> Vec<u8> {
+        let id = self.rng.next_below(self.cfg.key_space.max(1));
+        self.key(id)
+    }
+
+    fn zipf_key(&mut self) -> Vec<u8> {
+        let z = self.zipf.as_ref().expect("zipfian configured");
+        let id = z.sample(&mut self.rng);
+        self.key(id)
+    }
+
+    /// Mixgraph value sizes: Pareto-ish, mean ≈ 37 bytes as reported for
+    /// the Facebook traces, clamped to [8, 1024].
+    fn mixgraph_value_size(&mut self) -> usize {
+        let u = self.rng.next_f64().max(1e-9);
+        let size = 16.0 / u.powf(0.45);
+        (size as usize).clamp(8, 1024)
+    }
+
+    /// Produces the next operation.
+    pub fn next_op(&mut self) -> Op {
+        match self.cfg.workload {
+            Workload::FillRandom => {
+                let key = self.uniform_key();
+                let value = self.value(self.cfg.value_size);
+                Op::Put { key, value }
+            }
+            Workload::ReadRandom => Op::Get { key: self.uniform_key() },
+            Workload::Mixed { read_pct } => {
+                if self.rng.next_below(100) < u64::from(read_pct) {
+                    Op::Get { key: self.uniform_key() }
+                } else {
+                    let key = self.uniform_key();
+                    let value = self.value(self.cfg.value_size);
+                    Op::Put { key, value }
+                }
+            }
+            Workload::Mixgraph => {
+                let p = self.rng.next_below(100);
+                if p < 83 {
+                    Op::Get { key: self.zipf_key() }
+                } else if p < 97 {
+                    let key = self.zipf_key();
+                    let size = self.mixgraph_value_size();
+                    let value = self.value(size);
+                    Op::Put { key, value }
+                } else {
+                    let len = 1 + self.rng.next_below(100) as usize;
+                    Op::Scan { key: self.zipf_key(), len }
+                }
+            }
+            Workload::YcsbA | Workload::YcsbB | Workload::YcsbC => {
+                let read_pct = match self.cfg.workload {
+                    Workload::YcsbA => 50,
+                    Workload::YcsbB => 95,
+                    _ => 100,
+                };
+                if self.rng.next_below(100) < read_pct {
+                    Op::Get { key: self.zipf_key() }
+                } else {
+                    let key = self.zipf_key();
+                    let value = self.value(self.cfg.value_size);
+                    Op::Put { key, value }
+                }
+            }
+            Workload::YcsbD => {
+                if self.rng.next_below(100) < 95 {
+                    let max = self.cfg.key_space + self.inserted;
+                    let id = self.latest.as_ref().expect("latest").sample(&mut self.rng, max);
+                    // Recent inserts live in this thread's range.
+                    let id = if id >= self.cfg.key_space {
+                        self.insert_base + (id - self.cfg.key_space)
+                    } else {
+                        id
+                    };
+                    Op::Get { key: self.key(id) }
+                } else {
+                    let id = self.insert_base + self.inserted;
+                    self.inserted += 1;
+                    let value = self.value(self.cfg.value_size);
+                    Op::Put { key: self.key(id), value }
+                }
+            }
+            Workload::YcsbE => {
+                if self.rng.next_below(100) < 95 {
+                    let len = 1 + self.rng.next_below(100) as usize;
+                    Op::Scan { key: self.zipf_key(), len }
+                } else {
+                    let id = self.insert_base + self.inserted;
+                    self.inserted += 1;
+                    let value = self.value(self.cfg.value_size);
+                    Op::Put { key: self.key(id), value }
+                }
+            }
+            Workload::YcsbF => {
+                if self.rng.next_below(100) < 50 {
+                    Op::Get { key: self.zipf_key() }
+                } else {
+                    let key = self.zipf_key();
+                    let value = self.value(self.cfg.value_size);
+                    Op::ReadModifyWrite { key, value }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bytes_fixed_width_sortable() {
+        assert_eq!(key_bytes(0, 16), b"0000000000000000".to_vec());
+        assert_eq!(key_bytes(42, 16), b"0000000000000042".to_vec());
+        assert!(key_bytes(9, 16) < key_bytes(10, 16));
+        assert_eq!(key_bytes(123, 8).len(), 8);
+    }
+
+    #[test]
+    fn fillrandom_produces_puts_with_right_sizes() {
+        let cfg = WorkloadConfig::new(Workload::FillRandom, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        for _ in 0..100 {
+            match g.next_op() {
+                Op::Put { key, value } => {
+                    assert_eq!(key.len(), 16);
+                    assert_eq!(value.len(), 100);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_respects_ratio_roughly() {
+        let cfg = WorkloadConfig::new(Workload::Mixed { read_pct: 80 }, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        let mut reads = 0;
+        let total = 10_000;
+        for _ in 0..total {
+            if matches!(g.next_op(), Op::Get { .. }) {
+                reads += 1;
+            }
+        }
+        let pct = reads * 100 / total;
+        assert!((75..=85).contains(&pct), "read pct {pct}");
+    }
+
+    #[test]
+    fn ycsb_c_is_read_only() {
+        let cfg = WorkloadConfig::new(Workload::YcsbC, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        for _ in 0..1000 {
+            assert!(matches!(g.next_op(), Op::Get { .. }));
+        }
+    }
+
+    #[test]
+    fn ycsb_d_inserts_fresh_keys() {
+        let cfg = WorkloadConfig::new(Workload::YcsbD, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        let mut inserts = Vec::new();
+        for _ in 0..2000 {
+            if let Op::Put { key, .. } = g.next_op() {
+                inserts.push(key);
+            }
+        }
+        assert!(!inserts.is_empty());
+        // Inserted keys are unique and outside the preload space.
+        let mut sorted = inserts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), inserts.len());
+        for k in &inserts {
+            assert!(k > &key_bytes(999, 16));
+        }
+    }
+
+    #[test]
+    fn ycsb_e_scans() {
+        let cfg = WorkloadConfig::new(Workload::YcsbE, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        let mut scans = 0;
+        for _ in 0..1000 {
+            if let Op::Scan { len, .. } = g.next_op() {
+                assert!((1..=100).contains(&len));
+                scans += 1;
+            }
+        }
+        assert!(scans > 900);
+    }
+
+    #[test]
+    fn mixgraph_value_sizes_are_small_and_varied() {
+        let cfg = WorkloadConfig::new(Workload::Mixgraph, 1000);
+        let mut g = OpGenerator::new(&cfg, 0);
+        let mut sizes = Vec::new();
+        for _ in 0..20_000 {
+            if let Op::Put { value, .. } = g.next_op() {
+                sizes.push(value.len());
+            }
+        }
+        assert!(!sizes.is_empty());
+        let mean: f64 = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean > 15.0 && mean < 120.0, "mean value size {mean}");
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "sizes should vary");
+    }
+
+    #[test]
+    fn threads_generate_disjoint_streams() {
+        let cfg = WorkloadConfig::new(Workload::FillRandom, 1000);
+        let mut a = OpGenerator::new(&cfg, 0);
+        let mut b = OpGenerator::new(&cfg, 1);
+        assert_ne!(a.next_op(), b.next_op());
+    }
+}

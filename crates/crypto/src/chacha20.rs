@@ -1,0 +1,157 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Included because the paper names ChaCha as the alternative to AES for
+//! SHIELD's pluggable encryption algorithm. The block counter is 32 bits
+//! with a 96-bit nonce, exactly as in RFC 8439.
+
+/// Number of bytes in a ChaCha20 key.
+pub const KEY_LEN: usize = 32;
+/// Number of bytes of keystream produced per block.
+pub const BLOCK_LEN: usize = 64;
+
+/// A ChaCha20 keystream generator bound to a key and nonce.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key_words: [u32; 8],
+    nonce_words: [u32; 3],
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a keystream generator for `key` and a 12-byte `nonce`.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; 12]) -> Self {
+        let mut key_words = [0u32; 8];
+        for (i, w) in key_words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        let mut nonce_words = [0u32; 3];
+        for (i, w) in nonce_words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        ChaCha20 { key_words, nonce_words }
+    }
+
+    /// Produces the 64-byte keystream block for block index `counter`.
+    pub fn keystream_block(&self, counter: u32, out: &mut [u8; BLOCK_LEN]) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key_words);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce_words);
+
+        let mut working = state;
+        for _ in 0..10 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    /// XORs keystream into `data`, where `data` begins at absolute stream
+    /// byte `offset`. Random access is supported, as required for reading
+    /// SST blocks at arbitrary file offsets.
+    pub fn xor_at(&self, offset: u64, data: &mut [u8]) {
+        let mut block = [0u8; BLOCK_LEN];
+        let mut pos = 0usize;
+        let mut abs = offset;
+        while pos < data.len() {
+            let counter = (abs / BLOCK_LEN as u64) as u32;
+            let in_block = (abs % BLOCK_LEN as u64) as usize;
+            self.keystream_block(counter, &mut block);
+            let n = (BLOCK_LEN - in_block).min(data.len() - pos);
+            for i in 0..n {
+                data[pos + i] ^= block[in_block + i];
+            }
+            pos += n;
+            abs += n as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_block_test() {
+        // RFC 8439 §2.3.2 block function test vector.
+        let key: [u8; 32] =
+            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
+        let mut out = [0u8; 64];
+        ChaCha20::new(&key, &nonce).keystream_block(1, &mut out);
+        let expected = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e \
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(out.to_vec(), expected);
+    }
+
+    #[test]
+    fn rfc8439_encryption_test() {
+        // RFC 8439 §2.4.2 (keystream starts at counter 1 in the RFC; we
+        // reproduce that by XORing at offset BLOCK_LEN).
+        let key: [u8; 32] =
+            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        ChaCha20::new(&key, &nonce).xor_at(BLOCK_LEN as u64, &mut data);
+        let expected = hex(
+            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b \
+             f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8 \
+             07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736 \
+             5af90bbf74a35be6b40b8eedf2785e42 874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn xor_roundtrip_random_offsets() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let c = ChaCha20::new(&key, &nonce);
+        let original: Vec<u8> = (0..300).map(|i| (i * 7 % 251) as u8).collect();
+        let mut whole = original.clone();
+        c.xor_at(0, &mut whole);
+        // Decrypt a slice in the middle using its absolute offset.
+        let mut middle = whole[100..217].to_vec();
+        c.xor_at(100, &mut middle);
+        assert_eq!(&middle[..], &original[100..217]);
+    }
+}

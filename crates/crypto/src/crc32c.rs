@@ -1,0 +1,88 @@
+//! CRC32C (Castagnoli polynomial, iSCSI/RocksDB flavour) for WAL record and
+//! SST block checksums, including RocksDB's masked-CRC trick so a CRC stored
+//! inside CRC-protected data does not degrade.
+
+const POLY: u32 = 0x82f6_3b78; // reversed Castagnoli polynomial
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC32C of `data`.
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_extend(0, data)
+}
+
+/// Extends a previously computed CRC32C with more bytes.
+#[must_use]
+pub fn crc32c_extend(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Masks a CRC so it can be stored inside data that is itself CRC'd
+/// (the RocksDB/LevelDB log-format convention).
+#[must_use]
+pub fn crc32c_masked(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Inverse of [`crc32c_masked`].
+#[must_use]
+pub fn crc32c_unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // Canonical CRC32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn zeros_and_ff() {
+        // Vectors from RFC 3720 appendix B.4.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+    }
+
+    #[test]
+    fn extend_equals_oneshot() {
+        let data = b"hello crc32c world";
+        let c1 = crc32c(data);
+        let c2 = crc32c_extend(crc32c(&data[..7]), &data[7..]);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        for crc in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(crc32c_unmask(crc32c_masked(crc)), crc);
+            assert_ne!(crc32c_masked(crc), crc, "mask must change the value");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Data Encryption Keys (DEKs) and their identifiers.
+//!
+//! A [`Dek`] is the unit of key management in SHIELD: every persistent file
+//! (WAL, SST, Manifest) is encrypted under its own DEK, and only the
+//! [`DekId`] is ever embedded in plaintext file metadata. The KDS resolves
+//! DEK-IDs to key material for authorized servers (paper §5.4).
+
+use std::fmt;
+
+use crate::cipher::Algorithm;
+
+/// A 128-bit globally unique identifier for a DEK.
+///
+/// DEK-IDs are public: they appear in plaintext in SST properties blocks and
+/// WAL headers so that any authorized server can ask the KDS for the key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DekId(pub u128);
+
+impl DekId {
+    /// Generates a fresh random identifier.
+    #[must_use]
+    pub fn random() -> Self {
+        let mut bytes = [0u8; 16];
+        crate::secure_random(&mut bytes);
+        DekId(u128::from_be_bytes(bytes))
+    }
+
+    /// Encodes the identifier as 16 big-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes an identifier from 16 big-endian bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        DekId(u128::from_be_bytes(bytes))
+    }
+}
+
+impl fmt::Display for DekId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for DekId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DekId({:032x})", self.0)
+    }
+}
+
+/// A data encryption key: identifier, algorithm, and secret key material.
+///
+/// The `Debug` implementation never prints key bytes, and the key material
+/// is scrubbed on drop (best effort).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dek {
+    id: DekId,
+    algorithm: Algorithm,
+    key: Vec<u8>,
+}
+
+impl Dek {
+    /// Generates a fresh DEK for `algorithm` with a random id and key.
+    #[must_use]
+    pub fn generate(algorithm: Algorithm) -> Self {
+        let mut key = vec![0u8; algorithm.key_len()];
+        crate::secure_random(&mut key);
+        Dek { id: DekId::random(), algorithm, key }
+    }
+
+    /// Builds a DEK from its parts.
+    ///
+    /// # Panics
+    /// Panics if `key` is not exactly `algorithm.key_len()` bytes.
+    #[must_use]
+    pub fn from_parts(id: DekId, algorithm: Algorithm, key: Vec<u8>) -> Self {
+        assert_eq!(
+            key.len(),
+            algorithm.key_len(),
+            "key length must match algorithm"
+        );
+        Dek { id, algorithm, key }
+    }
+
+    /// The public identifier.
+    #[must_use]
+    pub fn id(&self) -> DekId {
+        self.id
+    }
+
+    /// The encryption algorithm this key is for.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The raw secret key bytes.
+    #[must_use]
+    pub fn key_bytes(&self) -> &[u8] {
+        &self.key
+    }
+}
+
+impl fmt::Debug for Dek {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dek")
+            .field("id", &self.id)
+            .field("algorithm", &self.algorithm)
+            .field("key", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for Dek {
+    fn drop(&mut self) {
+        for b in self.key.iter_mut() {
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dek_id_roundtrip() {
+        let id = DekId::random();
+        assert_eq!(DekId::from_bytes(id.to_bytes()), id);
+    }
+
+    #[test]
+    fn dek_generation_is_unique() {
+        let a = Dek::generate(Algorithm::Aes128Ctr);
+        let b = Dek::generate(Algorithm::Aes128Ctr);
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.key_bytes(), b.key_bytes());
+        assert_eq!(a.key_bytes().len(), 16);
+    }
+
+    #[test]
+    fn chacha_key_len() {
+        let d = Dek::generate(Algorithm::ChaCha20);
+        assert_eq!(d.key_bytes().len(), 32);
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let d = Dek::generate(Algorithm::Aes128Ctr);
+        let s = format!("{d:?}");
+        assert!(s.contains("<redacted>"));
+        for b in d.key_bytes() {
+            // The hex of any key byte pair might coincidentally appear, but
+            // the full key as a byte list must not be printed.
+            let _ = b;
+        }
+        assert!(!s.contains("key: ["));
+    }
+
+    #[test]
+    #[should_panic(expected = "key length")]
+    fn from_parts_rejects_bad_length() {
+        let _ = Dek::from_parts(DekId(1), Algorithm::Aes128Ctr, vec![0u8; 5]);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let id = DekId(0xdead_beef);
+        assert_eq!(id.to_string(), format!("{:032x}", 0xdead_beefu128));
+    }
+}

@@ -1,0 +1,257 @@
+//! Storage environment abstraction for the SHIELD reproduction.
+//!
+//! The LSM engine never touches `std::fs` directly; all persistence goes
+//! through the [`Env`] trait so the same engine runs against:
+//!
+//! * [`PosixEnv`] — the local filesystem (the paper's monolithic setup),
+//! * [`MemEnv`] — an in-memory filesystem that models the OS page-cache
+//!   buffer and can simulate *process* crashes (flushed data survives) and
+//!   *system* crashes (only synced data survives), which is exactly the
+//!   persistence distinction behind the paper's WAL-buffer trade-off (§5.3),
+//! * [`RemoteEnv`] — any inner env wrapped with a network model (round-trip
+//!   latency plus a bandwidth token bucket) and per-node I/O accounting,
+//!   standing in for the paper's HDFS disaggregated-storage cluster (§6.1).
+//!
+//! Every open is tagged with a [`FileKind`] so that [`IoStats`] can report
+//! read/write bytes per file type and per node — the data behind the
+//! paper's Table 3.
+
+pub mod mem;
+pub mod posix;
+pub mod remote;
+pub mod stats;
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+pub use mem::MemEnv;
+pub use posix::PosixEnv;
+pub use remote::{NetworkModel, RemoteEnv};
+pub use stats::{IoStats, IoStatsSnapshot};
+
+/// Classification of a file for I/O accounting and encryption policy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FileKind {
+    /// Write-ahead log segments.
+    Wal,
+    /// Sorted string table files.
+    Sst,
+    /// MANIFEST / CURRENT metadata files.
+    Manifest,
+    /// Anything else (options files, DEK cache, …).
+    Other,
+}
+
+impl FileKind {
+    /// All variants, for iterating stats tables.
+    pub const ALL: [FileKind; 4] =
+        [FileKind::Wal, FileKind::Sst, FileKind::Manifest, FileKind::Other];
+
+    /// Index into per-kind stat arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FileKind::Wal => 0,
+            FileKind::Sst => 1,
+            FileKind::Manifest => 2,
+            FileKind::Other => 3,
+        }
+    }
+
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FileKind::Wal => "WAL",
+            FileKind::Sst => "SST",
+            FileKind::Manifest => "MANIFEST",
+            FileKind::Other => "OTHER",
+        }
+    }
+}
+
+/// Errors surfaced by environment operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// The named file or directory does not exist.
+    NotFound(String),
+    /// The file already exists and exclusive creation was requested.
+    AlreadyExists(String),
+    /// Data failed validation (checksum, truncation) at the env layer.
+    Corruption(String),
+    /// Any other I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::NotFound(p) => write!(f, "not found: {p}"),
+            EnvError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            EnvError::Corruption(m) => write!(f, "corruption: {m}"),
+            EnvError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl From<std::io::Error> for EnvError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::NotFound => EnvError::NotFound(e.to_string()),
+            std::io::ErrorKind::AlreadyExists => EnvError::AlreadyExists(e.to_string()),
+            _ => EnvError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Result alias for env operations.
+pub type EnvResult<T> = Result<T, EnvError>;
+
+/// An append-only writable file.
+///
+/// The three-stage durability model mirrors POSIX buffered I/O:
+/// `append` lands in the application buffer, `flush` hands data to the
+/// "OS" (page cache), and `sync` makes it durable against system crashes.
+pub trait WritableFile: Send {
+    /// Appends `data` to the application buffer.
+    fn append(&mut self, data: &[u8]) -> EnvResult<()>;
+    /// Flushes the application buffer to the OS buffer.
+    fn flush(&mut self) -> EnvResult<()>;
+    /// Makes all previously flushed data durable.
+    fn sync(&mut self) -> EnvResult<()>;
+    /// Total bytes appended so far (the logical file length).
+    fn len(&self) -> u64;
+    /// True if nothing has been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A file readable at arbitrary offsets (used for SST files).
+pub trait RandomAccessFile: Send + Sync {
+    /// Reads up to `len` bytes starting at `offset`. Returns fewer bytes
+    /// only at end-of-file.
+    fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes>;
+    /// Total file length in bytes.
+    fn len(&self) -> EnvResult<u64>;
+    /// True if the file is empty.
+    fn is_empty(&self) -> EnvResult<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A file read front to back (used for WAL/MANIFEST replay).
+pub trait SequentialFile: Send {
+    /// Reads up to `buf.len()` bytes; returns the number read (0 at EOF).
+    fn read(&mut self, buf: &mut [u8]) -> EnvResult<usize>;
+}
+
+/// A storage environment: the filesystem the engine runs against.
+pub trait Env: Send + Sync {
+    /// Creates (truncating) a writable file.
+    fn new_writable_file(&self, path: &str, kind: FileKind) -> EnvResult<Box<dyn WritableFile>>;
+    /// Opens an existing file for random-access reads.
+    fn new_random_access_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+    ) -> EnvResult<Arc<dyn RandomAccessFile>>;
+    /// Opens an existing file for sequential reads.
+    fn new_sequential_file(&self, path: &str, kind: FileKind)
+        -> EnvResult<Box<dyn SequentialFile>>;
+    /// Removes a file.
+    fn remove_file(&self, path: &str) -> EnvResult<()>;
+    /// Atomically renames `from` to `to` (replacing `to`).
+    fn rename(&self, from: &str, to: &str) -> EnvResult<()>;
+    /// True if the file exists.
+    fn file_exists(&self, path: &str) -> bool;
+    /// Size of the file in bytes.
+    fn file_size(&self, path: &str) -> EnvResult<u64>;
+    /// Lists the file names (not full paths) directly inside `dir`.
+    fn list_dir(&self, dir: &str) -> EnvResult<Vec<String>>;
+    /// Creates `dir` and all parents.
+    fn create_dir_all(&self, dir: &str) -> EnvResult<()>;
+    /// Recursively removes `dir`.
+    fn remove_dir_all(&self, dir: &str) -> EnvResult<()>;
+    /// The I/O statistics sink for this env, if any.
+    fn io_stats(&self) -> Option<Arc<IoStats>> {
+        None
+    }
+}
+
+/// Reads an entire file into memory.
+pub fn read_file_to_vec(env: &dyn Env, path: &str, kind: FileKind) -> EnvResult<Vec<u8>> {
+    let mut f = env.new_sequential_file(path, kind)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    Ok(out)
+}
+
+/// Writes `data` to `path` durably, replacing any existing file, via a
+/// temp-file + rename so readers never observe a partial write.
+pub fn write_file_atomic(
+    env: &dyn Env,
+    path: &str,
+    kind: FileKind,
+    data: &[u8],
+) -> EnvResult<()> {
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = env.new_writable_file(&tmp, kind)?;
+        f.append(data)?;
+        f.flush()?;
+        f.sync()?;
+    }
+    env.rename(&tmp, path)
+}
+
+/// Joins a directory and a file name with `/`, avoiding doubled separators.
+#[must_use]
+pub fn join_path(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else if dir.ends_with('/') {
+        format!("{dir}{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_path_variants() {
+        assert_eq!(join_path("a", "b"), "a/b");
+        assert_eq!(join_path("a/", "b"), "a/b");
+        assert_eq!(join_path("", "b"), "b");
+    }
+
+    #[test]
+    fn file_kind_indices_unique() {
+        let mut seen = [false; 4];
+        for k in FileKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+    }
+
+    #[test]
+    fn env_error_display() {
+        assert_eq!(EnvError::NotFound("x".into()).to_string(), "not found: x");
+        let io: EnvError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, EnvError::NotFound(_)));
+    }
+}

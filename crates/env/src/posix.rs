@@ -1,0 +1,283 @@
+//! Local-filesystem [`Env`] built on `std::fs`, used for the monolithic
+//! benchmarks and anywhere real disk behavior matters.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{
+    Env, EnvResult, FileKind, IoStats, RandomAccessFile, SequentialFile, WritableFile,
+};
+
+/// Local filesystem environment. Paths are interpreted as OS paths.
+#[derive(Clone)]
+pub struct PosixEnv {
+    stats: Arc<IoStats>,
+    /// When false (the default for benchmarks), `sync` flushes to the OS
+    /// but skips `fsync`, matching RocksDB's default WAL behavior.
+    fsync: bool,
+}
+
+impl Default for PosixEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PosixEnv {
+    /// Creates a env that flushes but does not `fsync` on `sync` (the
+    /// RocksDB default benchmark configuration).
+    #[must_use]
+    pub fn new() -> Self {
+        PosixEnv { stats: IoStats::new(), fsync: false }
+    }
+
+    /// Creates an env whose `sync` calls really `fsync`.
+    #[must_use]
+    pub fn with_fsync() -> Self {
+        PosixEnv { stats: IoStats::new(), fsync: true }
+    }
+}
+
+struct PosixWritable {
+    writer: BufWriter<File>,
+    logical_len: u64,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+    fsync: bool,
+}
+
+impl WritableFile for PosixWritable {
+    fn append(&mut self, data: &[u8]) -> EnvResult<()> {
+        self.writer.write_all(data)?;
+        self.logical_len += data.len() as u64;
+        self.stats.record_write(self.kind, data.len() as u64);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> EnvResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> EnvResult<()> {
+        self.writer.flush()?;
+        if self.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.logical_len
+    }
+}
+
+struct PosixReadable {
+    file: Mutex<File>,
+    len: u64,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for PosixReadable {
+    fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        let mut buf = vec![0u8; len];
+        let n = {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(offset))?;
+            let mut read = 0usize;
+            while read < len {
+                match f.read(&mut buf[read..]) {
+                    Ok(0) => break,
+                    Ok(k) => read += k,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            read
+        };
+        buf.truncate(n);
+        self.stats.record_read(self.kind, n as u64);
+        Ok(Bytes::from(buf))
+    }
+
+    fn len(&self) -> EnvResult<u64> {
+        Ok(self.len)
+    }
+}
+
+struct PosixSequential {
+    file: File,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialFile for PosixSequential {
+    fn read(&mut self, buf: &mut [u8]) -> EnvResult<usize> {
+        let n = self.file.read(buf)?;
+        self.stats.record_read(self.kind, n as u64);
+        Ok(n)
+    }
+}
+
+impl Env for PosixEnv {
+    fn new_writable_file(&self, path: &str, kind: FileKind) -> EnvResult<Box<dyn WritableFile>> {
+        if let Some(parent) = Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        Ok(Box::new(PosixWritable {
+            writer: BufWriter::with_capacity(64 * 1024, file),
+            logical_len: 0,
+            kind,
+            stats: self.stats.clone(),
+            fsync: self.fsync,
+        }))
+    }
+
+    fn new_random_access_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+    ) -> EnvResult<Arc<dyn RandomAccessFile>> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Arc::new(PosixReadable {
+            file: Mutex::new(file),
+            len,
+            kind,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn new_sequential_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+    ) -> EnvResult<Box<dyn SequentialFile>> {
+        Ok(Box::new(PosixSequential {
+            file: File::open(path)?,
+            kind,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn remove_file(&self, path: &str) -> EnvResult<()> {
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> EnvResult<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        Path::new(path).is_file()
+    }
+
+    fn file_size(&self, path: &str) -> EnvResult<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn list_dir(&self, dir: &str) -> EnvResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &str) -> EnvResult<()> {
+        std::fs::create_dir_all(dir)?;
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, dir: &str) -> EnvResult<()> {
+        match std::fs::remove_dir_all(dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn io_stats(&self) -> Option<Arc<IoStats>> {
+        Some(self.stats.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("shield-posix-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let dir = tmp_dir("roundtrip");
+        let env = PosixEnv::new();
+        let path = crate::join_path(&dir, "file.bin");
+        {
+            let mut f = env.new_writable_file(&path, FileKind::Sst).unwrap();
+            f.append(b"abc").unwrap();
+            f.append(b"defgh").unwrap();
+            f.sync().unwrap();
+            assert_eq!(f.len(), 8);
+        }
+        assert_eq!(env.file_size(&path).unwrap(), 8);
+        let r = env.new_random_access_file(&path, FileKind::Sst).unwrap();
+        assert_eq!(&r.read_at(2, 4).unwrap()[..], b"cdef");
+        // Short read at EOF.
+        assert_eq!(&r.read_at(6, 100).unwrap()[..], b"gh");
+        env.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_and_rename() {
+        let dir = tmp_dir("list");
+        let env = PosixEnv::new();
+        for name in ["b.sst", "a.log"] {
+            let mut f = env
+                .new_writable_file(&crate::join_path(&dir, name), FileKind::Other)
+                .unwrap();
+            f.append(b"x").unwrap();
+            f.sync().unwrap();
+        }
+        assert_eq!(env.list_dir(&dir).unwrap(), vec!["a.log", "b.sst"]);
+        env.rename(
+            &crate::join_path(&dir, "a.log"),
+            &crate::join_path(&dir, "c.log"),
+        )
+        .unwrap();
+        assert_eq!(env.list_dir(&dir).unwrap(), vec!["b.sst", "c.log"]);
+        env.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let env = PosixEnv::new();
+        assert!(matches!(
+            env.new_sequential_file("/nonexistent/shield-x", FileKind::Other),
+            Err(crate::EnvError::NotFound(_))
+        ));
+        assert!(!env.file_exists("/nonexistent/shield-x"));
+    }
+}

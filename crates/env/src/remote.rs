@@ -1,0 +1,380 @@
+//! Disaggregated-storage simulation: wraps any [`Env`] with a network model.
+//!
+//! The paper's DS setup puts SST files (and, with offloaded compaction, the
+//! compaction I/O itself) on a storage server reached over a 1 Gbps switch
+//! (§6.1). [`RemoteEnv`] reproduces the two first-order effects of that
+//! link: a per-operation round-trip latency and a shared bandwidth pipe
+//! that serializes concurrent transfers. Both knobs are runtime-adjustable
+//! so the sensitivity sweeps (Fig. 16, 18) can vary them mid-experiment.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::{
+    Env, EnvResult, FileKind, IoStats, RandomAccessFile, SequentialFile, WritableFile,
+};
+
+/// Parameters of the simulated network between compute and storage.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// Round-trip latency charged once per remote operation.
+    pub rtt: Duration,
+    /// Link bandwidth in bytes/second; `None` means unlimited.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Client-side write-packet size: small appends are batched into
+    /// packets of this size before paying a network trip, as the HDFS
+    /// client does (64 KiB packets). `sync` always drains.
+    pub write_packet_bytes: u64,
+}
+
+impl NetworkModel {
+    /// An intra-datacenter profile: 500 µs RTT (the figure the paper cites)
+    /// over a 1 Gbps link.
+    #[must_use]
+    pub fn intra_datacenter() -> Self {
+        NetworkModel {
+            rtt: Duration::from_micros(500),
+            bandwidth_bytes_per_sec: Some(125_000_000), // 1 Gbps
+            write_packet_bytes: 64 * 1024,
+        }
+    }
+
+    /// No latency, no bandwidth cap — useful for tests that only need the
+    /// accounting side of [`RemoteEnv`].
+    #[must_use]
+    pub fn unlimited() -> Self {
+        NetworkModel {
+            rtt: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            write_packet_bytes: 64 * 1024,
+        }
+    }
+}
+
+struct Pipe {
+    model: NetworkModel,
+    /// The instant at which the shared link becomes free again.
+    next_free: Instant,
+}
+
+/// Shared network state; cheap to clone into file handles.
+#[derive(Clone)]
+struct Link {
+    pipe: Arc<Mutex<Pipe>>,
+}
+
+impl Link {
+    fn new(model: NetworkModel) -> Self {
+        Link { pipe: Arc::new(Mutex::new(Pipe { model, next_free: Instant::now() })) }
+    }
+
+    /// Charges one round trip plus the serialized transfer time for
+    /// `bytes` on the shared pipe, sleeping until the transfer completes.
+    fn transfer(&self, bytes: u64) {
+        let wake = {
+            let mut pipe = self.pipe.lock();
+            let now = Instant::now();
+            let start = pipe.next_free.max(now) + pipe.model.rtt;
+            let duration = match pipe.model.bandwidth_bytes_per_sec {
+                Some(bw) if bw > 0 => {
+                    Duration::from_nanos((bytes.saturating_mul(1_000_000_000)) / bw)
+                }
+                _ => Duration::ZERO,
+            };
+            pipe.next_free = start + duration;
+            pipe.next_free
+        };
+        let now = Instant::now();
+        if wake > now {
+            std::thread::sleep(wake - now);
+        }
+    }
+
+    /// Charges a metadata round trip (no payload).
+    fn round_trip(&self) {
+        self.transfer(0);
+    }
+
+    fn set_model(&self, model: NetworkModel) {
+        self.pipe.lock().model = model;
+    }
+
+    fn model(&self) -> NetworkModel {
+        self.pipe.lock().model
+    }
+}
+
+/// An [`Env`] that forwards to `inner` while charging network costs and
+/// recording I/O against its own [`IoStats`] (the "storage node" view).
+#[derive(Clone)]
+pub struct RemoteEnv {
+    inner: Arc<dyn Env>,
+    link: Link,
+    stats: Arc<IoStats>,
+}
+
+impl RemoteEnv {
+    /// Wraps `inner` with the given network model.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Env>, model: NetworkModel) -> Self {
+        RemoteEnv { inner, link: Link::new(model), stats: IoStats::new() }
+    }
+
+    /// Replaces the network model (used by latency/bandwidth sweeps).
+    pub fn set_model(&self, model: NetworkModel) {
+        self.link.set_model(model);
+    }
+
+    /// The current network model.
+    #[must_use]
+    pub fn model(&self) -> NetworkModel {
+        self.link.model()
+    }
+
+    /// The wrapped env.
+    #[must_use]
+    pub fn inner(&self) -> &Arc<dyn Env> {
+        &self.inner
+    }
+}
+
+struct RemoteWritable {
+    inner: Box<dyn WritableFile>,
+    link: Link,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+    unflushed: u64,
+}
+
+impl WritableFile for RemoteWritable {
+    fn append(&mut self, data: &[u8]) -> EnvResult<()> {
+        self.unflushed += data.len() as u64;
+        self.inner.append(data)
+    }
+
+    fn flush(&mut self) -> EnvResult<()> {
+        // Like the HDFS client, small appends are batched into packets:
+        // the network trip is only charged once a full packet is pending.
+        // (The bytes themselves always reach the backing store so readers
+        // and crash simulations see them.)
+        let packet = self.link.model().write_packet_bytes.max(1);
+        if self.unflushed >= packet {
+            self.link.transfer(self.unflushed);
+            self.stats.record_write(self.kind, self.unflushed);
+            self.unflushed = 0;
+        }
+        self.inner.flush()
+    }
+
+    fn sync(&mut self) -> EnvResult<()> {
+        if self.unflushed > 0 {
+            self.link.transfer(self.unflushed);
+            self.stats.record_write(self.kind, self.unflushed);
+            self.unflushed = 0;
+        }
+        self.inner.flush()?;
+        self.link.round_trip();
+        self.inner.sync()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+struct RemoteReadable {
+    inner: Arc<dyn RandomAccessFile>,
+    link: Link,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+}
+
+impl RandomAccessFile for RemoteReadable {
+    fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        let data = self.inner.read_at(offset, len)?;
+        self.link.transfer(data.len() as u64);
+        self.stats.record_read(self.kind, data.len() as u64);
+        Ok(data)
+    }
+
+    fn len(&self) -> EnvResult<u64> {
+        self.inner.len()
+    }
+}
+
+struct RemoteSequential {
+    inner: Box<dyn SequentialFile>,
+    link: Link,
+    kind: FileKind,
+    stats: Arc<IoStats>,
+}
+
+impl SequentialFile for RemoteSequential {
+    fn read(&mut self, buf: &mut [u8]) -> EnvResult<usize> {
+        let n = self.inner.read(buf)?;
+        self.link.transfer(n as u64);
+        self.stats.record_read(self.kind, n as u64);
+        Ok(n)
+    }
+}
+
+impl Env for RemoteEnv {
+    fn new_writable_file(&self, path: &str, kind: FileKind) -> EnvResult<Box<dyn WritableFile>> {
+        self.link.round_trip();
+        Ok(Box::new(RemoteWritable {
+            inner: self.inner.new_writable_file(path, kind)?,
+            link: self.link.clone(),
+            kind,
+            stats: self.stats.clone(),
+            unflushed: 0,
+        }))
+    }
+
+    fn new_random_access_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+    ) -> EnvResult<Arc<dyn RandomAccessFile>> {
+        self.link.round_trip();
+        Ok(Arc::new(RemoteReadable {
+            inner: self.inner.new_random_access_file(path, kind)?,
+            link: self.link.clone(),
+            kind,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn new_sequential_file(
+        &self,
+        path: &str,
+        kind: FileKind,
+    ) -> EnvResult<Box<dyn SequentialFile>> {
+        self.link.round_trip();
+        Ok(Box::new(RemoteSequential {
+            inner: self.inner.new_sequential_file(path, kind)?,
+            link: self.link.clone(),
+            kind,
+            stats: self.stats.clone(),
+        }))
+    }
+
+    fn remove_file(&self, path: &str) -> EnvResult<()> {
+        self.link.round_trip();
+        self.inner.remove_file(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> EnvResult<()> {
+        self.link.round_trip();
+        self.inner.rename(from, to)
+    }
+
+    fn file_exists(&self, path: &str) -> bool {
+        self.link.round_trip();
+        self.inner.file_exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> EnvResult<u64> {
+        self.link.round_trip();
+        self.inner.file_size(path)
+    }
+
+    fn list_dir(&self, dir: &str) -> EnvResult<Vec<String>> {
+        self.link.round_trip();
+        self.inner.list_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &str) -> EnvResult<()> {
+        self.link.round_trip();
+        self.inner.create_dir_all(dir)
+    }
+
+    fn remove_dir_all(&self, dir: &str) -> EnvResult<()> {
+        self.link.round_trip();
+        self.inner.remove_dir_all(dir)
+    }
+
+    fn io_stats(&self) -> Option<Arc<IoStats>> {
+        Some(self.stats.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemEnv;
+
+    #[test]
+    fn forwards_to_inner() {
+        let mem = MemEnv::new();
+        let remote = RemoteEnv::new(Arc::new(mem.clone()), NetworkModel::unlimited());
+        let mut f = remote.new_writable_file("x", FileKind::Sst).unwrap();
+        f.append(b"payload").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(mem.raw_content("x").unwrap(), b"payload");
+        let r = remote.new_random_access_file("x", FileKind::Sst).unwrap();
+        assert_eq!(&r.read_at(0, 7).unwrap()[..], b"payload");
+    }
+
+    #[test]
+    fn accounts_remote_io() {
+        let remote =
+            RemoteEnv::new(Arc::new(MemEnv::new()), NetworkModel::unlimited());
+        let mut f = remote.new_writable_file("x", FileKind::Sst).unwrap();
+        f.append(&[0u8; 1000]).unwrap();
+        // 1000 bytes is below the packet size, so flush defers the network
+        // charge; sync always drains and records.
+        f.flush().unwrap();
+        assert_eq!(remote.io_stats().unwrap().snapshot().written_for(FileKind::Sst), 0);
+        f.sync().unwrap();
+        drop(f);
+        let r = remote.new_random_access_file("x", FileKind::Sst).unwrap();
+        let _ = r.read_at(0, 400).unwrap();
+        let snap = remote.io_stats().unwrap().snapshot();
+        assert_eq!(snap.written_for(FileKind::Sst), 1000);
+        assert_eq!(snap.read_for(FileKind::Sst), 400);
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let model = NetworkModel {
+            rtt: Duration::from_millis(5),
+            bandwidth_bytes_per_sec: None,
+            write_packet_bytes: 1, // charge every flush in this test
+        };
+        let remote = RemoteEnv::new(Arc::new(MemEnv::new()), model);
+        let start = Instant::now();
+        let mut f = remote.new_writable_file("x", FileKind::Wal).unwrap(); // 1 RTT
+        f.append(b"d").unwrap();
+        f.flush().unwrap(); // 1 RTT
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(10), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn bandwidth_serializes_transfers() {
+        // 1 MB/s: a 10 KB transfer should take >= 10 ms.
+        let model = NetworkModel {
+            rtt: Duration::ZERO,
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            write_packet_bytes: 1,
+        };
+        let remote = RemoteEnv::new(Arc::new(MemEnv::new()), model);
+        let mut f = remote.new_writable_file("x", FileKind::Sst).unwrap();
+        f.append(&vec![0u8; 10_000]).unwrap();
+        let start = Instant::now();
+        f.flush().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn model_can_be_swapped_at_runtime() {
+        let remote = RemoteEnv::new(Arc::new(MemEnv::new()), NetworkModel::unlimited());
+        assert_eq!(remote.model().rtt, Duration::ZERO);
+        remote.set_model(NetworkModel::intra_datacenter());
+        assert_eq!(remote.model().rtt, Duration::from_micros(500));
+    }
+}

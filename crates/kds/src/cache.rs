@@ -1,0 +1,438 @@
+//! The secure local DEK cache (paper §5.2, "On-Demand Key Retrieval with
+//! Secure Caching").
+//!
+//! DEKs retrieved from the KDS are persisted to a local file so that a
+//! database restart does not need one network round trip per live file.
+//! Each entry is wrapped with AES-128-CTR under a key derived from the
+//! server passkey via PBKDF2, and authenticated with HMAC-SHA-256, so the
+//! cache file is useless without the passkey and tampering is detected.
+//! The passkey itself is never written to disk. Multiple LSM-KVS instances
+//! on the same server may share one cache (ZippyDB-style co-location), and
+//! entries are pruned when their file — and therefore their DEK — dies.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shield_crypto::{
+    constant_time_eq, hmac_sha256, pbkdf2_hmac_sha256, Algorithm, CipherContext, Dek, DekId,
+    NONCE_LEN,
+};
+use shield_env::{Env, EnvError, FileKind};
+
+const MAGIC: &[u8; 8] = b"SHLDDEKC";
+const VERSION: u32 = 1;
+/// Default PBKDF2 iteration count. Kept modest because the derivation runs
+/// once per process start; production deployments would raise it.
+pub const DEFAULT_PBKDF_ITERATIONS: u32 = 2048;
+
+/// Errors from the secure cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The passkey does not match the one the cache was created with.
+    BadPasskey,
+    /// The cache file is structurally invalid or an entry failed its MAC.
+    Corrupt(String),
+    /// Underlying storage failure.
+    Env(EnvError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::BadPasskey => write!(f, "secure cache: wrong passkey"),
+            CacheError::Corrupt(m) => write!(f, "secure cache corrupt: {m}"),
+            CacheError::Env(e) => write!(f, "secure cache io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<EnvError> for CacheError {
+    fn from(e: EnvError) -> Self {
+        CacheError::Env(e)
+    }
+}
+
+struct Inner {
+    entries: HashMap<DekId, Dek>,
+}
+
+/// An on-disk DEK cache encrypted under a passkey-derived key.
+pub struct SecureDekCache {
+    env: Arc<dyn Env>,
+    path: String,
+    salt: [u8; 16],
+    iterations: u32,
+    enc_key: Vec<u8>,
+    mac_key: Vec<u8>,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for SecureDekCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SecureDekCache")
+            .field("path", &self.path)
+            .field("entries", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureDekCache {
+    /// Opens (or creates) the cache at `path`, unlocking it with `passkey`.
+    ///
+    /// Returns [`CacheError::BadPasskey`] if the file exists but was
+    /// created under a different passkey, and [`CacheError::Corrupt`] if an
+    /// entry fails authentication.
+    pub fn open(
+        env: Arc<dyn Env>,
+        path: &str,
+        passkey: &[u8],
+    ) -> Result<Self, CacheError> {
+        Self::open_with_iterations(env, path, passkey, DEFAULT_PBKDF_ITERATIONS)
+    }
+
+    /// [`SecureDekCache::open`] with an explicit PBKDF2 iteration count.
+    pub fn open_with_iterations(
+        env: Arc<dyn Env>,
+        path: &str,
+        passkey: &[u8],
+        iterations: u32,
+    ) -> Result<Self, CacheError> {
+        if env.file_exists(path) {
+            let data = shield_env::read_file_to_vec(env.as_ref(), path, FileKind::Other)?;
+            Self::load(env, path, passkey, &data)
+        } else {
+            let mut salt = [0u8; 16];
+            shield_crypto::secure_random(&mut salt);
+            let (enc_key, mac_key) = derive_keys(passkey, &salt, iterations);
+            let cache = SecureDekCache {
+                env,
+                path: path.to_string(),
+                salt,
+                iterations,
+                enc_key,
+                mac_key,
+                inner: Mutex::new(Inner { entries: HashMap::new() }),
+            };
+            cache.persist()?;
+            Ok(cache)
+        }
+    }
+
+    fn load(
+        env: Arc<dyn Env>,
+        path: &str,
+        passkey: &[u8],
+        data: &[u8],
+    ) -> Result<Self, CacheError> {
+        let mut r = Reader { data, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(CacheError::Corrupt("bad magic".to_string()));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CacheError::Corrupt(format!("unsupported version {version}")));
+        }
+        let iterations = r.u32()?;
+        let salt: [u8; 16] = r.take(16)?.try_into().unwrap();
+        let (enc_key, mac_key) = derive_keys(passkey, &salt, iterations);
+        // Passkey verifier: HMAC over a fixed label.
+        let verifier = r.take(16)?;
+        let expected = hmac_sha256(&mac_key, b"shield-cache-verifier");
+        if !constant_time_eq(verifier, &expected[..16]) {
+            return Err(CacheError::BadPasskey);
+        }
+        let count = r.u32()? as usize;
+        let mut entries = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let id_bytes: [u8; 16] = r.take(16)?.try_into().unwrap();
+            let id = DekId::from_bytes(id_bytes);
+            let algo_tag = r.u8()?;
+            let algorithm = Algorithm::from_tag(algo_tag)
+                .ok_or_else(|| CacheError::Corrupt(format!("bad algorithm tag {algo_tag}")))?;
+            let key_len = r.u16()? as usize;
+            let nonce: [u8; NONCE_LEN] = r.take(NONCE_LEN)?.try_into().unwrap();
+            let wrapped = r.take(key_len)?.to_vec();
+            let mac = r.take(32)?;
+            let computed = entry_mac(&mac_key, id, algo_tag, &nonce, &wrapped);
+            if !constant_time_eq(mac, &computed) {
+                return Err(CacheError::Corrupt(format!("entry {id} failed MAC")));
+            }
+            if key_len != algorithm.key_len() {
+                return Err(CacheError::Corrupt(format!("entry {id} bad key length")));
+            }
+            let mut key = wrapped;
+            unwrap_key(&enc_key, &nonce, &mut key);
+            entries.insert(id, Dek::from_parts(id, algorithm, key));
+        }
+        Ok(SecureDekCache {
+            env,
+            path: path.to_string(),
+            salt,
+            iterations,
+            enc_key,
+            mac_key,
+            inner: Mutex::new(Inner { entries }),
+        })
+    }
+
+    /// Looks up a DEK by id.
+    #[must_use]
+    pub fn get(&self, id: DekId) -> Option<Dek> {
+        self.inner.lock().entries.get(&id).cloned()
+    }
+
+    /// True if the cache holds `id`.
+    #[must_use]
+    pub fn contains(&self, id: DekId) -> bool {
+        self.inner.lock().entries.contains_key(&id)
+    }
+
+    /// Inserts (or replaces) a DEK and persists the cache.
+    pub fn insert(&self, dek: Dek) -> Result<(), CacheError> {
+        self.inner.lock().entries.insert(dek.id(), dek);
+        self.persist()
+    }
+
+    /// Removes a DEK (when its file dies) and persists the cache.
+    /// Removing an absent id is a no-op.
+    pub fn remove(&self, id: DekId) -> Result<(), CacheError> {
+        let removed = self.inner.lock().entries.remove(&id).is_some();
+        if removed {
+            self.persist()?;
+        }
+        Ok(())
+    }
+
+    /// Number of cached DEKs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True if no DEKs are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All cached DEK ids (order unspecified).
+    #[must_use]
+    pub fn ids(&self) -> Vec<DekId> {
+        self.inner.lock().entries.keys().copied().collect()
+    }
+
+    fn persist(&self) -> Result<(), CacheError> {
+        let inner = self.inner.lock();
+        let mut out = Vec::with_capacity(64 + inner.entries.len() * 96);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.iterations.to_le_bytes());
+        out.extend_from_slice(&self.salt);
+        let verifier = hmac_sha256(&self.mac_key, b"shield-cache-verifier");
+        out.extend_from_slice(&verifier[..16]);
+        out.extend_from_slice(&(inner.entries.len() as u32).to_le_bytes());
+        // Deterministic order keeps the file stable for equal contents.
+        let mut ids: Vec<_> = inner.entries.keys().copied().collect();
+        ids.sort();
+        for id in ids {
+            let dek = &inner.entries[&id];
+            let algo_tag = dek.algorithm().tag();
+            let mut nonce = [0u8; NONCE_LEN];
+            shield_crypto::secure_random(&mut nonce);
+            let mut wrapped = dek.key_bytes().to_vec();
+            unwrap_key(&self.enc_key, &nonce, &mut wrapped); // XOR: wrap == unwrap
+            let mac = entry_mac(&self.mac_key, id, algo_tag, &nonce, &wrapped);
+            out.extend_from_slice(&id.to_bytes());
+            out.push(algo_tag);
+            out.extend_from_slice(&(wrapped.len() as u16).to_le_bytes());
+            out.extend_from_slice(&nonce);
+            out.extend_from_slice(&wrapped);
+            out.extend_from_slice(&mac);
+        }
+        // Hold the entry lock across the temp-file + rename so concurrent
+        // persists (e.g. the commit leader and a background flush both
+        // inserting fresh DEKs) cannot race on the shared temp name.
+        shield_env::write_file_atomic(self.env.as_ref(), &self.path, FileKind::Other, &out)?;
+        drop(inner);
+        Ok(())
+    }
+}
+
+/// Derives (enc_key, mac_key) from the passkey.
+fn derive_keys(passkey: &[u8], salt: &[u8; 16], iterations: u32) -> (Vec<u8>, Vec<u8>) {
+    let dk = pbkdf2_hmac_sha256(passkey, salt, iterations, 48);
+    (dk[..16].to_vec(), dk[16..].to_vec())
+}
+
+/// Wraps/unwraps key material in place (AES-128-CTR keystream XOR).
+fn unwrap_key(enc_key: &[u8], nonce: &[u8; NONCE_LEN], key: &mut [u8]) {
+    let kek = Dek::from_parts(DekId(0), Algorithm::Aes128Ctr, enc_key.to_vec());
+    CipherContext::new(&kek, nonce).xor_at(0, key);
+}
+
+fn entry_mac(
+    mac_key: &[u8],
+    id: DekId,
+    algo_tag: u8,
+    nonce: &[u8; NONCE_LEN],
+    wrapped: &[u8],
+) -> [u8; 32] {
+    let mut msg = Vec::with_capacity(16 + 1 + NONCE_LEN + wrapped.len());
+    msg.extend_from_slice(&id.to_bytes());
+    msg.push(algo_tag);
+    msg.extend_from_slice(nonce);
+    msg.extend_from_slice(wrapped);
+    hmac_sha256(mac_key, &msg)
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CacheError> {
+        if self.pos + n > self.data.len() {
+            return Err(CacheError::Corrupt("truncated".to_string()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CacheError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CacheError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CacheError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield_env::MemEnv;
+
+    const ITERS: u32 = 4; // fast for tests
+
+    fn open(env: &MemEnv, passkey: &[u8]) -> Result<SecureDekCache, CacheError> {
+        SecureDekCache::open_with_iterations(Arc::new(env.clone()), "dek.cache", passkey, ITERS)
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let env = MemEnv::new();
+        let dek = Dek::generate(Algorithm::Aes128Ctr);
+        let chacha = Dek::generate(Algorithm::ChaCha20);
+        {
+            let cache = open(&env, b"passkey").unwrap();
+            cache.insert(dek.clone()).unwrap();
+            cache.insert(chacha.clone()).unwrap();
+        }
+        let cache = open(&env, b"passkey").unwrap();
+        assert_eq!(cache.len(), 2);
+        let got = cache.get(dek.id()).unwrap();
+        assert_eq!(got.key_bytes(), dek.key_bytes());
+        assert_eq!(got.algorithm(), Algorithm::Aes128Ctr);
+        assert_eq!(cache.get(chacha.id()).unwrap().key_bytes(), chacha.key_bytes());
+    }
+
+    #[test]
+    fn wrong_passkey_rejected() {
+        let env = MemEnv::new();
+        {
+            let cache = open(&env, b"right").unwrap();
+            cache.insert(Dek::generate(Algorithm::Aes128Ctr)).unwrap();
+        }
+        assert_eq!(open(&env, b"wrong").unwrap_err(), CacheError::BadPasskey);
+    }
+
+    #[test]
+    fn key_material_not_on_disk_in_plaintext() {
+        let env = MemEnv::new();
+        let dek = Dek::generate(Algorithm::Aes128Ctr);
+        let cache = open(&env, b"pk").unwrap();
+        cache.insert(dek.clone()).unwrap();
+        let raw = env.raw_content("dek.cache").unwrap();
+        // The 16-byte key must not appear in the file.
+        let key = dek.key_bytes();
+        let found = raw.windows(key.len()).any(|w| w == key);
+        assert!(!found, "plaintext key material leaked to the cache file");
+        // But the public DEK-ID does appear (it is not secret).
+        let id = dek.id().to_bytes();
+        assert!(raw.windows(16).any(|w| w == id));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let env = MemEnv::new();
+        {
+            let cache = open(&env, b"pk").unwrap();
+            cache.insert(Dek::generate(Algorithm::Aes128Ctr)).unwrap();
+        }
+        let mut raw = env.raw_content("dek.cache").unwrap();
+        // Flip a bit in the wrapped key region (near the end, before MAC).
+        let n = raw.len();
+        raw[n - 40] ^= 0x01;
+        {
+            let mut f = env.new_writable_file("dek.cache", FileKind::Other).unwrap();
+            f.append(&raw).unwrap();
+            f.sync().unwrap();
+        }
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_))));
+    }
+
+    #[test]
+    fn remove_prunes_entry() {
+        let env = MemEnv::new();
+        let dek = Dek::generate(Algorithm::Aes128Ctr);
+        let cache = open(&env, b"pk").unwrap();
+        cache.insert(dek.clone()).unwrap();
+        cache.remove(dek.id()).unwrap();
+        assert!(cache.is_empty());
+        // Removing again is a no-op.
+        cache.remove(dek.id()).unwrap();
+        // And the entry stays gone across reopen.
+        drop(cache);
+        let cache = open(&env, b"pk").unwrap();
+        assert!(!cache.contains(dek.id()));
+    }
+
+    #[test]
+    fn shared_cache_between_instances() {
+        // Two cache handles on the same file (two LSM instances on one
+        // server). Writes by one are visible to a later open by the other.
+        let env = MemEnv::new();
+        let dek = Dek::generate(Algorithm::Aes128Ctr);
+        let a = open(&env, b"shared").unwrap();
+        a.insert(dek.clone()).unwrap();
+        let b = open(&env, b"shared").unwrap();
+        assert_eq!(b.get(dek.id()).unwrap().key_bytes(), dek.key_bytes());
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt() {
+        let env = MemEnv::new();
+        {
+            let cache = open(&env, b"pk").unwrap();
+            cache.insert(Dek::generate(Algorithm::Aes128Ctr)).unwrap();
+        }
+        let raw = env.raw_content("dek.cache").unwrap();
+        {
+            let mut f = env.new_writable_file("dek.cache", FileKind::Other).unwrap();
+            f.append(&raw[..raw.len() - 10]).unwrap();
+            f.sync().unwrap();
+        }
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_))));
+    }
+}

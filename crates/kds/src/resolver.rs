@@ -1,0 +1,226 @@
+//! The cache-in-front-of-KDS composition the LSM engine uses.
+//!
+//! `new_dek` is called once per created file (unique DEK per file, §5.2);
+//! `resolve` is called when opening a file whose plaintext metadata names a
+//! DEK-ID (§5.4). Resolution order is secure cache → KDS, so restarts and
+//! co-located instances avoid per-file network trips.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use shield_crypto::{Algorithm, Dek, DekId};
+
+use crate::{CacheError, Kds, KdsError, SecureDekCache, ServerId};
+
+/// Errors from DEK resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolverError {
+    /// The KDS refused or failed the request.
+    Kds(KdsError),
+    /// The secure cache failed (I/O or corruption).
+    Cache(CacheError),
+}
+
+impl fmt::Display for ResolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolverError::Kds(e) => write!(f, "kds: {e}"),
+            ResolverError::Cache(e) => write!(f, "cache: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolverError {}
+
+impl From<KdsError> for ResolverError {
+    fn from(e: KdsError) -> Self {
+        ResolverError::Kds(e)
+    }
+}
+
+impl From<CacheError> for ResolverError {
+    fn from(e: CacheError) -> Self {
+        ResolverError::Cache(e)
+    }
+}
+
+/// Counters describing resolver traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Resolutions served from the secure cache (network trips saved).
+    pub cache_hits: u64,
+    /// Resolutions that had to go to the KDS.
+    pub cache_misses: u64,
+    /// Fresh DEKs generated.
+    pub generated: u64,
+}
+
+/// Resolves DEK-IDs to key material for one server identity.
+pub struct DekResolver {
+    kds: Arc<dyn Kds>,
+    cache: Option<Arc<SecureDekCache>>,
+    server: ServerId,
+    algorithm: Algorithm,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    generated: AtomicU64,
+}
+
+impl DekResolver {
+    /// Creates a resolver for `server`, generating keys for `algorithm`.
+    #[must_use]
+    pub fn new(
+        kds: Arc<dyn Kds>,
+        cache: Option<Arc<SecureDekCache>>,
+        server: ServerId,
+        algorithm: Algorithm,
+    ) -> Self {
+        DekResolver {
+            kds,
+            cache,
+            server,
+            algorithm,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            generated: AtomicU64::new(0),
+        }
+    }
+
+    /// The server identity this resolver requests under.
+    #[must_use]
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// The algorithm for newly generated DEKs.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Requests a fresh DEK from the KDS (one per new file) and caches it.
+    pub fn new_dek(&self) -> Result<Dek, ResolverError> {
+        let dek = self.kds.generate_dek(self.server, self.algorithm)?;
+        self.generated.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.insert(dek.clone())?;
+        }
+        Ok(dek)
+    }
+
+    /// Resolves `id` to key material: secure cache first, then the KDS.
+    pub fn resolve(&self, id: DekId) -> Result<Dek, ResolverError> {
+        if let Some(cache) = &self.cache {
+            if let Some(dek) = cache.get(id) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(dek);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let dek = self.kds.fetch_dek(self.server, id)?;
+        if let Some(cache) = &self.cache {
+            cache.insert(dek.clone())?;
+        }
+        Ok(dek)
+    }
+
+    /// Called when a file is deleted: prunes the cache entry and revokes
+    /// the DEK at the KDS so it can never be provisioned again.
+    pub fn on_file_deleted(&self, id: DekId) -> Result<(), ResolverError> {
+        if let Some(cache) = &self.cache {
+            cache.remove(id)?;
+        }
+        // The DEK may already be unknown (e.g. another instance revoked it);
+        // that is not an error for the caller.
+        match self.kds.revoke_dek(id) {
+            Ok(()) | Err(KdsError::UnknownDek(_)) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> ResolverStats {
+        ResolverStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            generated: self.generated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KdsConfig, LocalKds};
+    use shield_env::MemEnv;
+
+    fn setup(with_cache: bool) -> (Arc<LocalKds>, DekResolver) {
+        let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+        let cache = with_cache.then(|| {
+            Arc::new(
+                SecureDekCache::open_with_iterations(
+                    Arc::new(MemEnv::new()),
+                    "cache",
+                    b"pk",
+                    4,
+                )
+                .unwrap(),
+            )
+        });
+        let resolver = DekResolver::new(kds.clone(), cache, ServerId(1), Algorithm::Aes128Ctr);
+        (kds, resolver)
+    }
+
+    #[test]
+    fn new_dek_is_cached() {
+        let (_, resolver) = setup(true);
+        let dek = resolver.new_dek().unwrap();
+        let resolved = resolver.resolve(dek.id()).unwrap();
+        assert_eq!(resolved.key_bytes(), dek.key_bytes());
+        let s = resolver.stats();
+        assert_eq!(s.generated, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 0);
+    }
+
+    #[test]
+    fn cache_miss_goes_to_kds_then_caches() {
+        let (kds, resolver) = setup(true);
+        // DEK created by "another server".
+        let dek = kds.generate_dek(ServerId(2), Algorithm::Aes128Ctr).unwrap();
+        let got = resolver.resolve(dek.id()).unwrap();
+        assert_eq!(got.key_bytes(), dek.key_bytes());
+        assert_eq!(resolver.stats().cache_misses, 1);
+        // Second resolve hits the cache — no new KDS fetch.
+        let before = kds.stats().fetched;
+        let _ = resolver.resolve(dek.id()).unwrap();
+        assert_eq!(kds.stats().fetched, before);
+    }
+
+    #[test]
+    fn cacheless_resolver_always_fetches() {
+        let (kds, resolver) = setup(false);
+        let dek = kds.generate_dek(ServerId(2), Algorithm::Aes128Ctr).unwrap();
+        let _ = resolver.resolve(dek.id()).unwrap();
+        let _ = resolver.resolve(dek.id()).unwrap();
+        assert_eq!(kds.stats().fetched, 2);
+        assert_eq!(resolver.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn file_deletion_revokes_and_prunes() {
+        let (kds, resolver) = setup(true);
+        let dek = resolver.new_dek().unwrap();
+        resolver.on_file_deleted(dek.id()).unwrap();
+        assert!(!kds.has_dek(dek.id()));
+        // Now unresolvable anywhere.
+        assert!(matches!(
+            resolver.resolve(dek.id()),
+            Err(ResolverError::Kds(KdsError::UnknownDek(_)))
+        ));
+        // Deleting twice is fine.
+        resolver.on_file_deleted(dek.id()).unwrap();
+    }
+}

@@ -1,0 +1,662 @@
+//! Compaction: picking work (leveled / universal / FIFO) and executing it.
+//!
+//! SHIELD-relevant behavior: every compaction output file gets a **fresh
+//! DEK** from the KDS (via [`EncryptionConfig::new_writable`]), and the
+//! input files' DEKs are revoked when the inputs are deleted — so routine
+//! compaction *is* DEK rotation (§5.2), at zero additional I/O cost.
+//! Output encryption happens in configurable-size chunks, optionally
+//! multi-threaded (§5.2, Fig. 13), because the builder writes through an
+//! [`crate::encryption::EncryptedWritableFile`].
+//!
+//! [`run_compaction`] is deliberately a free function over explicit inputs
+//! so the disaggregated deployment can run it on a *different server* (the
+//! offloaded-compaction case study, §5.6): all it needs is the shared
+//! storage env, the file metadata (which carries DEK-IDs), and its own
+//! DEK resolver.
+
+use std::sync::Arc;
+
+use shield_env::{Env, FileKind};
+
+use crate::encryption::EncryptionConfig;
+use crate::error::Result;
+use crate::iter::{InternalIterator, MergingIterator};
+use crate::sst::builder::{TableBuilder, TableBuilderOptions};
+use crate::types::{extract_seq_type, extract_user_key, SequenceNumber, ValueType, MAX_SEQUENCE};
+use crate::version::edit::{FileMeta, VersionEdit};
+use crate::version::filenames::sst_file_name;
+use crate::version::table_cache::TableCache;
+use crate::version::version::{Version, NUM_LEVELS};
+
+/// Compaction styles, mirroring RocksDB's three policies (§6.3, Fig. 15).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompactionStyle {
+    /// Size-tiered levels with fanout; frequent, smaller compactions.
+    #[default]
+    Leveled,
+    /// Universal/tiered: sorted runs accumulate in L0 and are merged
+    /// wholesale; fewer, larger I/Os.
+    Universal,
+    /// No merging: oldest files are simply dropped once the database
+    /// exceeds a size budget.
+    Fifo,
+}
+
+/// Knobs the pickers need (a projection of the DB options).
+#[derive(Clone, Debug)]
+pub struct CompactionParams {
+    /// Which picker to use.
+    pub style: CompactionStyle,
+    /// L0 file count that triggers compaction into L1 (leveled).
+    pub l0_compaction_trigger: usize,
+    /// Target size of L1; deeper levels are `fanout`× larger each.
+    pub base_level_bytes: u64,
+    /// Size multiplier between adjacent levels.
+    pub fanout: u64,
+    /// Run count that triggers a universal merge.
+    pub universal_run_trigger: usize,
+    /// Total-size budget for FIFO.
+    pub fifo_max_bytes: u64,
+    /// Cut compaction outputs at this size.
+    pub target_file_size: u64,
+}
+
+impl Default for CompactionParams {
+    fn default() -> Self {
+        CompactionParams {
+            style: CompactionStyle::Leveled,
+            l0_compaction_trigger: 4,
+            base_level_bytes: 8 * 1024 * 1024,
+            fanout: 10,
+            universal_run_trigger: 8,
+            fifo_max_bytes: 64 * 1024 * 1024,
+            target_file_size: 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// A unit of compaction work.
+#[derive(Debug)]
+pub enum CompactionTask {
+    /// Merge `inputs` (at `input_level`) with `overlaps` (at
+    /// `output_level`) into new files at `output_level`.
+    Merge {
+        /// Level the inputs come from.
+        input_level: usize,
+        /// Level outputs land at.
+        output_level: usize,
+        /// Files from `input_level`.
+        inputs: Vec<Arc<FileMeta>>,
+        /// Overlapping files from `output_level`.
+        overlaps: Vec<Arc<FileMeta>>,
+    },
+    /// FIFO: drop these files outright, no merging.
+    FifoTrim {
+        /// Oldest files to delete.
+        files: Vec<Arc<FileMeta>>,
+    },
+}
+
+impl CompactionTask {
+    /// Total input bytes this task will read (0 for FIFO trims).
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        match self {
+            CompactionTask::Merge { inputs, overlaps, .. } => inputs
+                .iter()
+                .chain(overlaps.iter())
+                .map(|f| f.file_size)
+                .sum(),
+            CompactionTask::FifoTrim { .. } => 0,
+        }
+    }
+}
+
+/// Chooses the next compaction, if any is warranted.
+#[must_use]
+pub fn pick_compaction(version: &Version, params: &CompactionParams) -> Option<CompactionTask> {
+    match params.style {
+        CompactionStyle::Leveled => pick_leveled(version, params),
+        CompactionStyle::Universal => pick_universal(version, params),
+        CompactionStyle::Fifo => pick_fifo(version, params),
+    }
+}
+
+fn pick_leveled(version: &Version, params: &CompactionParams) -> Option<CompactionTask> {
+    // Score every level; compact the worst offender.
+    let mut best: Option<(f64, usize)> = None;
+    let l0_score = version.level_files(0) as f64 / params.l0_compaction_trigger as f64;
+    if l0_score >= 1.0 {
+        best = Some((l0_score, 0));
+    }
+    let mut target = params.base_level_bytes;
+    for level in 1..NUM_LEVELS - 1 {
+        let score = version.level_size(level) as f64 / target as f64;
+        if score >= 1.0 && best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, level));
+        }
+        target = target.saturating_mul(params.fanout);
+    }
+    let (_, level) = best?;
+    let inputs: Vec<Arc<FileMeta>> = if level == 0 {
+        // All L0 files: they overlap each other, so take the lot.
+        version.files[0].clone()
+    } else {
+        // Rotate through the level: pick the file with the smallest key
+        // (deterministic and fair enough at benchmark scale).
+        vec![version.files[level].first()?.clone()]
+    };
+    if inputs.is_empty() {
+        return None;
+    }
+    let smallest = inputs.iter().map(|f| f.smallest_user_key().to_vec()).min()?;
+    let largest = inputs.iter().map(|f| f.largest_user_key().to_vec()).max()?;
+    let output_level = level + 1;
+    let overlaps = version.overlapping_files(output_level, Some(&smallest), Some(&largest));
+    Some(CompactionTask::Merge { input_level: level, output_level, inputs, overlaps })
+}
+
+fn pick_universal(version: &Version, params: &CompactionParams) -> Option<CompactionTask> {
+    // Runs accumulate in L0; merge all of them once the trigger is hit.
+    let runs = version.level_files(0);
+    if runs < params.universal_run_trigger.max(2) {
+        return None;
+    }
+    Some(CompactionTask::Merge {
+        input_level: 0,
+        output_level: 0,
+        inputs: version.files[0].clone(),
+        overlaps: Vec::new(),
+    })
+}
+
+fn pick_fifo(version: &Version, params: &CompactionParams) -> Option<CompactionTask> {
+    let total = version.level_size(0);
+    if total <= params.fifo_max_bytes {
+        return None;
+    }
+    // Oldest files first (L0 is sorted newest-first).
+    let mut excess = total - params.fifo_max_bytes;
+    let mut victims = Vec::new();
+    for meta in version.files[0].iter().rev() {
+        if excess == 0 {
+            break;
+        }
+        victims.push(meta.clone());
+        excess = excess.saturating_sub(meta.file_size);
+    }
+    if victims.is_empty() {
+        None
+    } else {
+        Some(CompactionTask::FifoTrim { files: victims })
+    }
+}
+
+/// A pluggable compaction backend. The default (in-process) executor runs
+/// [`run_compaction`] on the database's own threads; a disaggregated
+/// deployment installs an offloaded executor that runs the same function
+/// on the storage server, with its *own* server identity, DEK resolver,
+/// and secure cache — resolving input DEKs purely from the DEK-IDs in the
+/// file metadata (paper §5.4, §5.6).
+pub trait CompactionExecutor: Send + Sync {
+    /// Executes `task`, allocating output file numbers via `alloc`.
+    fn execute(
+        &self,
+        request: &CompactionRequest<'_>,
+        alloc: &mut dyn FnMut() -> u64,
+    ) -> Result<CompactionOutcome>;
+}
+
+/// What the engine hands to a [`CompactionExecutor`].
+pub struct CompactionRequest<'a> {
+    /// Database directory on the shared storage.
+    pub db_path: &'a str,
+    /// The work to do (file metadata carries the DEK-IDs).
+    pub task: &'a CompactionTask,
+    /// Version the task was picked against.
+    pub version: &'a Version,
+    /// Oldest sequence any snapshot can still read.
+    pub smallest_snapshot: SequenceNumber,
+    /// SST construction knobs.
+    pub table_options: TableBuilderOptions,
+    /// Output file size cap.
+    pub target_file_size: u64,
+}
+
+/// Everything [`run_compaction`] needs, bundled so remote compactors can
+/// construct it from shared state.
+pub struct CompactionContext<'a> {
+    /// Storage the SSTs live on (local or disaggregated).
+    pub env: &'a Arc<dyn Env>,
+    /// Database directory.
+    pub db_path: &'a str,
+    /// Encryption config of the *executing* server (its own resolver).
+    pub encryption: Option<&'a EncryptionConfig>,
+    /// Table cache for opening inputs.
+    pub table_cache: &'a Arc<TableCache>,
+    /// The version the task was picked against (for tombstone elision).
+    pub version: &'a Version,
+    /// Oldest sequence any snapshot can still read; `MAX_SEQUENCE` if none.
+    pub smallest_snapshot: SequenceNumber,
+    /// SST construction knobs.
+    pub table_options: TableBuilderOptions,
+    /// Cut outputs at this size.
+    pub target_file_size: u64,
+    /// Allocator for output file numbers.
+    pub next_file_number: &'a mut dyn FnMut() -> u64,
+}
+
+/// What a compaction produced.
+#[derive(Debug, Default)]
+pub struct CompactionOutcome {
+    /// The edit to apply: inputs deleted, outputs added.
+    pub edit: VersionEdit,
+    /// Bytes read from inputs.
+    pub bytes_read: u64,
+    /// Bytes written to outputs.
+    pub bytes_written: u64,
+    /// Entries dropped as shadowed or tombstone-elided.
+    pub entries_dropped: u64,
+    /// Output files created.
+    pub outputs: usize,
+}
+
+/// True if no level strictly below `level` can hold `user_key` — the
+/// condition for safely dropping an old tombstone.
+fn is_base_level_for_key(version: &Version, level: usize, user_key: &[u8]) -> bool {
+    for deeper in (level + 1)..version.files.len() {
+        for f in &version.files[deeper] {
+            if user_key >= f.smallest_user_key() && user_key <= f.largest_user_key() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Executes a merge task: reads inputs, drops shadowed/obsolete entries,
+/// writes outputs (each under a fresh DEK when encryption is on).
+pub fn run_compaction(
+    ctx: &mut CompactionContext<'_>,
+    task: &CompactionTask,
+) -> Result<CompactionOutcome> {
+    let CompactionTask::Merge { input_level, output_level, inputs, overlaps } = task else {
+        // FIFO trims delete files without reading them.
+        let CompactionTask::FifoTrim { files } = task else { unreachable!() };
+        let mut outcome = CompactionOutcome::default();
+        for f in files {
+            outcome.edit.deleted_files.push((0, f.number));
+        }
+        return Ok(outcome);
+    };
+
+    let mut outcome =
+        CompactionOutcome { bytes_read: task.input_bytes(), ..CompactionOutcome::default() };
+
+    // Build the merged input stream. Inputs from L0 (or a universal run
+    // set) must be one iterator per file, newest first; sorted levels can
+    // use a concatenating iterator.
+    let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+    if *input_level == 0 {
+        for meta in inputs {
+            let table = ctx.table_cache.get(meta.number)?;
+            children.push(Box::new(table.iter()));
+        }
+    } else if !inputs.is_empty() {
+        children.push(Box::new(crate::version::version::LevelIterator::new(
+            inputs.clone(),
+            ctx.table_cache.clone(),
+        )));
+    }
+    if !overlaps.is_empty() {
+        children.push(Box::new(crate::version::version::LevelIterator::new(
+            overlaps.clone(),
+            ctx.table_cache.clone(),
+        )));
+    }
+    let mut merged = MergingIterator::new(children);
+    merged.seek_to_first();
+
+    let mut builder: Option<(u64, TableBuilder)> = None;
+    let mut current_user_key: Option<Vec<u8>> = None;
+    let mut last_seq_for_key: SequenceNumber = MAX_SEQUENCE;
+
+    let finish_output = |builder: Option<(u64, TableBuilder)>,
+                             outcome: &mut CompactionOutcome|
+     -> Result<()> {
+        if let Some((number, b)) = builder {
+            if b.num_entries() > 0 {
+                let (props, size) = b.finish()?;
+                outcome.bytes_written += size;
+                outcome.outputs += 1;
+                outcome.edit.new_files.push((
+                    *output_level as u32,
+                    FileMeta {
+                        number,
+                        file_size: size,
+                        smallest: crate::types::make_internal_key(
+                            &props.smallest_user_key,
+                            MAX_SEQUENCE,
+                            ValueType::Value,
+                        ),
+                        largest: crate::types::make_internal_key(
+                            &props.largest_user_key,
+                            0,
+                            ValueType::Deletion,
+                        ),
+                        dek_id: props.dek_id,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    while merged.valid() {
+        let ikey = merged.key().to_vec();
+        let user_key = extract_user_key(&ikey).to_vec();
+        let (seq, vtype) = extract_seq_type(&ikey);
+
+        // Reset per-key tracking on key change.
+        if current_user_key.as_deref() != Some(&user_key[..]) {
+            current_user_key = Some(user_key.clone());
+            last_seq_for_key = MAX_SEQUENCE;
+        }
+
+        let mut drop = false;
+        if last_seq_for_key != MAX_SEQUENCE && last_seq_for_key <= ctx.smallest_snapshot {
+            // A newer version of this key is already visible at every
+            // snapshot: this one is pure history.
+            drop = true;
+        } else if vtype == Some(ValueType::Deletion)
+            && seq <= ctx.smallest_snapshot
+            && is_base_level_for_key(ctx.version, *output_level, &user_key)
+        {
+            // Tombstone with nothing underneath to shadow: elide it.
+            drop = true;
+        }
+        last_seq_for_key = seq;
+
+        if drop {
+            outcome.entries_dropped += 1;
+        } else {
+            if builder.is_none() {
+                let number = (ctx.next_file_number)();
+                let path = shield_env::join_path(ctx.db_path, &sst_file_name(number));
+                let (file, dek_id) = match ctx.encryption {
+                    Some(cfg) => {
+                        let (f, id) = cfg.new_writable(ctx.env.as_ref(), &path, FileKind::Sst)?;
+                        (f, Some(id))
+                    }
+                    None => (ctx.env.new_writable_file(&path, FileKind::Sst)?, None),
+                };
+                let opts = TableBuilderOptions { dek_id, ..ctx.table_options.clone() };
+                builder = Some((number, TableBuilder::new(file, opts)));
+            }
+            let (_, b) = builder.as_mut().unwrap();
+            b.add(&ikey, merged.value())?;
+            // Cut outputs only at user-key boundaries so one key's
+            // versions never straddle two files: advance, peek at the next
+            // key, and finish the output if the key changed.
+            if b.file_size() >= ctx.target_file_size {
+                merged.next();
+                let key_changes = !merged.valid()
+                    || extract_user_key(merged.key()) != user_key.as_slice();
+                if key_changes {
+                    let b = builder.take();
+                    finish_output(b, &mut outcome)?;
+                }
+                continue;
+            }
+        }
+        merged.next();
+    }
+    merged.status()?;
+    finish_output(builder.take(), &mut outcome)?;
+
+    for meta in inputs {
+        outcome.edit.deleted_files.push((*input_level as u32, meta.number));
+    }
+    for meta in overlaps {
+        outcome.edit.deleted_files.push((*output_level as u32, meta.number));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::make_internal_key;
+    use shield_env::MemEnv;
+
+    fn meta_with(number: u64, lo: &str, hi: &str, size: u64) -> Arc<FileMeta> {
+        Arc::new(FileMeta {
+            number,
+            file_size: size,
+            smallest: make_internal_key(lo.as_bytes(), 1, ValueType::Value),
+            largest: make_internal_key(hi.as_bytes(), 1, ValueType::Value),
+            dek_id: None,
+        })
+    }
+
+    #[test]
+    fn leveled_triggers_on_l0_count() {
+        let params = CompactionParams { l0_compaction_trigger: 4, ..CompactionParams::default() };
+        let mut v = Version::new();
+        for n in 1..=3 {
+            v.files[0].push(meta_with(n, "a", "z", 100));
+        }
+        assert!(pick_compaction(&v, &params).is_none());
+        v.files[0].push(meta_with(4, "a", "z", 100));
+        let task = pick_compaction(&v, &params).unwrap();
+        match task {
+            CompactionTask::Merge { input_level, output_level, inputs, .. } => {
+                assert_eq!(input_level, 0);
+                assert_eq!(output_level, 1);
+                assert_eq!(inputs.len(), 4);
+            }
+            CompactionTask::FifoTrim { .. } => panic!("expected merge"),
+        }
+    }
+
+    #[test]
+    fn leveled_triggers_on_level_size() {
+        let params = CompactionParams {
+            base_level_bytes: 1000,
+            fanout: 10,
+            ..CompactionParams::default()
+        };
+        let mut v = Version::new();
+        v.files[1].push(meta_with(1, "a", "m", 600));
+        v.files[1].push(meta_with(2, "n", "z", 600));
+        v.files[2].push(meta_with(3, "k", "p", 100));
+        let task = pick_compaction(&v, &params).unwrap();
+        match task {
+            CompactionTask::Merge { input_level, output_level, inputs, overlaps } => {
+                assert_eq!((input_level, output_level), (1, 2));
+                assert_eq!(inputs.len(), 1);
+                assert_eq!(inputs[0].number, 1); // smallest-key file
+                assert_eq!(overlaps.len(), 1); // "k..p" overlaps "a..m"
+            }
+            CompactionTask::FifoTrim { .. } => panic!("expected merge"),
+        }
+    }
+
+    #[test]
+    fn universal_merges_all_runs() {
+        let params = CompactionParams {
+            style: CompactionStyle::Universal,
+            universal_run_trigger: 3,
+            ..CompactionParams::default()
+        };
+        let mut v = Version::new();
+        for n in 1..=2 {
+            v.files[0].push(meta_with(n, "a", "z", 100));
+        }
+        assert!(pick_compaction(&v, &params).is_none());
+        v.files[0].push(meta_with(3, "a", "z", 100));
+        match pick_compaction(&v, &params).unwrap() {
+            CompactionTask::Merge { input_level, output_level, inputs, overlaps } => {
+                assert_eq!((input_level, output_level), (0, 0));
+                assert_eq!(inputs.len(), 3);
+                assert!(overlaps.is_empty());
+            }
+            CompactionTask::FifoTrim { .. } => panic!("expected merge"),
+        }
+    }
+
+    #[test]
+    fn fifo_trims_oldest() {
+        let params = CompactionParams {
+            style: CompactionStyle::Fifo,
+            fifo_max_bytes: 250,
+            ..CompactionParams::default()
+        };
+        let mut v = Version::new();
+        // Newest first: numbers 3, 2, 1 (oldest is 1).
+        v.files[0] = vec![
+            meta_with(3, "a", "z", 100),
+            meta_with(2, "a", "z", 100),
+            meta_with(1, "a", "z", 100),
+        ];
+        match pick_compaction(&v, &params).unwrap() {
+            CompactionTask::FifoTrim { files } => {
+                assert_eq!(files.len(), 1);
+                assert_eq!(files[0].number, 1);
+            }
+            CompactionTask::Merge { .. } => panic!("expected trim"),
+        }
+    }
+
+    /// End-to-end merge: build two real overlapping L0 tables, compact,
+    /// verify the output drops shadowed versions and tombstones.
+    #[test]
+    fn merge_drops_shadowed_and_tombstones() {
+        use crate::sst::builder::TableBuilder;
+        use shield_env::Env;
+
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let tc = TableCache::new(env.clone(), "db".into(), None, None, 8);
+
+        // File 1 (older): a=1@5, b=1@6, c=1@7
+        // File 2 (newer): a=2@10, b deleted @11
+        let mk_table = |number: u64, entries: &[(&str, u64, ValueType, &str)]| {
+            let path = shield_env::join_path("db", &sst_file_name(number));
+            let file = env.new_writable_file(&path, FileKind::Sst).unwrap();
+            let mut b = TableBuilder::new(file, TableBuilderOptions::default());
+            for (k, seq, t, v) in entries {
+                b.add(&make_internal_key(k.as_bytes(), *seq, *t), v.as_bytes()).unwrap();
+            }
+            let (props, size) = b.finish().unwrap();
+            Arc::new(FileMeta {
+                number,
+                file_size: size,
+                smallest: make_internal_key(&props.smallest_user_key, MAX_SEQUENCE, ValueType::Value),
+                largest: make_internal_key(&props.largest_user_key, 0, ValueType::Deletion),
+                dek_id: None,
+            })
+        };
+        let old = mk_table(
+            1,
+            &[
+                ("a", 5, ValueType::Value, "a1"),
+                ("b", 6, ValueType::Value, "b1"),
+                ("c", 7, ValueType::Value, "c1"),
+            ],
+        );
+        let new = mk_table(
+            2,
+            &[("a", 10, ValueType::Value, "a2"), ("b", 11, ValueType::Deletion, "")],
+        );
+        let mut version = Version::new();
+        version.files[0] = vec![new.clone(), old.clone()];
+
+        let task = CompactionTask::Merge {
+            input_level: 0,
+            output_level: 1,
+            inputs: vec![new, old],
+            overlaps: vec![],
+        };
+        let mut next = 10u64;
+        let mut alloc = || {
+            next += 1;
+            next
+        };
+        let mut ctx = CompactionContext {
+            env: &env,
+            db_path: "db",
+            encryption: None,
+            table_cache: &tc,
+            version: &version,
+            smallest_snapshot: MAX_SEQUENCE,
+            table_options: TableBuilderOptions::default(),
+            target_file_size: 1 << 20,
+            next_file_number: &mut alloc,
+        };
+        let outcome = run_compaction(&mut ctx, &task).unwrap();
+        assert_eq!(outcome.outputs, 1);
+        // a@5 shadowed, b@6 shadowed, b-tombstone elided (base level).
+        assert_eq!(outcome.entries_dropped, 3);
+        assert_eq!(outcome.edit.deleted_files.len(), 2);
+        let (level, out_meta) = &outcome.edit.new_files[0];
+        assert_eq!(*level, 1);
+        // The output holds exactly a@10 and c@7.
+        let table = tc.get(out_meta.number).unwrap();
+        assert_eq!(table.properties().num_entries, 2);
+        assert_eq!(table.get(b"a", 100).unwrap().unwrap().1, b"a2");
+        assert!(table.get(b"b", 100).unwrap().is_none());
+        assert_eq!(table.get(b"c", 100).unwrap().unwrap().1, b"c1");
+    }
+
+    /// Snapshots must preserve versions still visible to them.
+    #[test]
+    fn merge_respects_snapshots() {
+        use crate::sst::builder::TableBuilder;
+        use shield_env::Env;
+
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let tc = TableCache::new(env.clone(), "db".into(), None, None, 8);
+        let path = shield_env::join_path("db", &sst_file_name(1));
+        let file = env.new_writable_file(&path, FileKind::Sst).unwrap();
+        let mut b = TableBuilder::new(file, TableBuilderOptions::default());
+        b.add(&make_internal_key(b"k", 10, ValueType::Value), b"v10").unwrap();
+        b.add(&make_internal_key(b"k", 4, ValueType::Value), b"v4").unwrap();
+        let (_, size) = b.finish().unwrap();
+        let meta = Arc::new(FileMeta {
+            number: 1,
+            file_size: size,
+            smallest: make_internal_key(b"k", MAX_SEQUENCE, ValueType::Value),
+            largest: make_internal_key(b"k", 0, ValueType::Deletion),
+            dek_id: None,
+        });
+        let mut version = Version::new();
+        version.files[0] = vec![meta.clone()];
+        let task = CompactionTask::Merge {
+            input_level: 0,
+            output_level: 1,
+            inputs: vec![meta],
+            overlaps: vec![],
+        };
+        let mut next = 10u64;
+        let mut alloc = || {
+            next += 1;
+            next
+        };
+        // A snapshot at seq 5 still needs v4.
+        let mut ctx = CompactionContext {
+            env: &env,
+            db_path: "db",
+            encryption: None,
+            table_cache: &tc,
+            version: &version,
+            smallest_snapshot: 5,
+            table_options: TableBuilderOptions::default(),
+            target_file_size: 1 << 20,
+            next_file_number: &mut alloc,
+        };
+        let outcome = run_compaction(&mut ctx, &task).unwrap();
+        assert_eq!(outcome.entries_dropped, 0);
+        let table = tc.get(outcome.edit.new_files[0].1.number).unwrap();
+        assert_eq!(table.properties().num_entries, 2);
+    }
+}

@@ -1,0 +1,1434 @@
+//! The database: write path (group commit → WAL → memtable), read path
+//! (memtables → levels, bloom + block cache), background flushes and
+//! compactions, snapshots, iterators, and crash recovery.
+//!
+//! Encryption placement follows the paper exactly (§5.2): WAL bytes are
+//! encrypted by the file layer just before persistence (optionally through
+//! the §5.3 application buffer); memtables stay plaintext and flushes
+//! encrypt at SST-build time; compaction outputs are chunk-encrypted and
+//! always carry fresh DEKs, making compaction double as key rotation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use shield_env::{Env, FileKind};
+
+use crate::cache::BlockCache;
+use crate::compaction::{
+    pick_compaction, run_compaction, CompactionContext, CompactionTask,
+};
+use crate::db::batch::WriteBatch;
+use crate::db::options::{Options, ReadOptions, WriteOptions};
+use crate::error::{Error, Result};
+use crate::iter::{InternalIterator, MergingIterator};
+use crate::memtable::{LookupResult, MemTable};
+use crate::sst::builder::{TableBuilder, TableBuilderOptions};
+use crate::statistics::Statistics;
+use crate::types::{
+    extract_seq_type, extract_user_key, make_internal_key, make_lookup_key, SequenceNumber,
+    ValueType, MAX_SEQUENCE,
+};
+use crate::version::edit::{FileMeta, VersionEdit};
+use crate::version::filenames::{parse_file_name, sst_file_name, wal_file_name, FileType};
+use crate::version::table_cache::TableCache;
+use crate::version::version::GetResult;
+use crate::version::VersionSet;
+use crate::wal::{LogReader, LogWriter};
+
+/// Background work items.
+enum Job {
+    Flush,
+    Compaction,
+}
+
+struct State {
+    mem: Arc<MemTable>,
+    imm: Vec<Arc<MemTable>>,
+    wal: Option<LogWriter>,
+    wal_number: u64,
+    versions: VersionSet,
+    flush_scheduled: bool,
+    compaction_scheduled: bool,
+    busy_files: HashSet<u64>,
+    pending_outputs: HashSet<u64>,
+    snapshots: std::collections::BTreeMap<u64, SequenceNumber>,
+    next_snapshot_id: u64,
+    bg_error: Option<Error>,
+}
+
+struct Pending {
+    batch: WriteBatch,
+    sync: bool,
+    slot: Arc<Mutex<Option<Result<()>>>>,
+}
+
+struct DbInner {
+    opts: Options,
+    env: Arc<dyn Env>,
+    path: String,
+    table_cache: Arc<TableCache>,
+    block_cache: Option<Arc<BlockCache>>,
+    stats: Arc<Statistics>,
+    state: Mutex<State>,
+    /// Signaled whenever background work finishes (stall waits).
+    work_cv: Condvar,
+    /// Writers waiting to be committed by a group leader.
+    commit_queue: Mutex<Vec<Pending>>,
+    /// Held by the active group-commit leader.
+    leader: Mutex<()>,
+    /// Highest sequence visible to readers.
+    last_published: AtomicU64,
+    shutting_down: AtomicBool,
+    job_tx: Mutex<Option<Sender<Job>>>,
+}
+
+/// An LSM-KVS instance.
+///
+/// Cheap operations (`get`, `put`, `delete`, `write`, `iter`, `snapshot`)
+/// take `&self` and are thread-safe. Dropping the handle shuts down
+/// background work and flushes the WAL cleanly; use
+/// [`Db::simulate_process_crash`] in tests that need a dirty exit.
+pub struct Db {
+    inner: Arc<DbInner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    crash_on_drop: bool,
+}
+
+impl Db {
+    /// Opens (creating or recovering) a database at `path`.
+    pub fn open(opts: Options, path: &str) -> Result<Db> {
+        let env = opts.env.clone();
+        env.create_dir_all(path)?;
+        let stats = opts.statistics.clone();
+        let block_cache =
+            (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
+        let table_cache = TableCache::new(
+            env.clone(),
+            path.to_string(),
+            opts.encryption.clone(),
+            block_cache.clone(),
+            opts.max_open_files,
+        );
+        let mut versions = VersionSet::new(
+            env.clone(),
+            path.to_string(),
+            opts.encryption.clone(),
+            table_cache.clone(),
+        );
+        let exists = VersionSet::db_exists(env.as_ref(), path);
+        if exists {
+            if opts.error_if_exists {
+                return Err(Error::InvalidArgument(format!("{path} already exists")));
+            }
+            versions.recover()?;
+        } else {
+            if !opts.create_if_missing {
+                return Err(Error::Io(shield_env::EnvError::NotFound(path.to_string())));
+            }
+            versions.create_new()?;
+        }
+
+        let inner = Arc::new(DbInner {
+            env: env.clone(),
+            path: path.to_string(),
+            table_cache,
+            block_cache,
+            stats,
+            state: Mutex::new(State {
+                mem: Arc::new(MemTable::new(0)),
+                imm: Vec::new(),
+                wal: None,
+                wal_number: 0,
+                versions,
+                flush_scheduled: false,
+                compaction_scheduled: false,
+                busy_files: HashSet::new(),
+                pending_outputs: HashSet::new(),
+                snapshots: std::collections::BTreeMap::new(),
+                next_snapshot_id: 1,
+                bg_error: None,
+            }),
+            work_cv: Condvar::new(),
+            commit_queue: Mutex::new(Vec::new()),
+            leader: Mutex::new(()),
+            last_published: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            job_tx: Mutex::new(None),
+            opts,
+        });
+
+        inner.recover_wals()?;
+
+        // Fresh WAL for new writes.
+        {
+            let mut state = inner.state.lock();
+            let wal_number = state.versions.new_file_number();
+            let writer = inner.new_wal(wal_number)?;
+            state.wal = Some(writer);
+            state.wal_number = wal_number;
+            // Tag the (still empty) initial memtable with its real WAL so
+            // obsolete-WAL computation is exact from the start.
+            state.mem = Arc::new(MemTable::new(wal_number));
+            let edit = VersionEdit { log_number: Some(wal_number), ..VersionEdit::default() };
+            state.versions.log_and_apply(edit)?;
+            let seq = state.versions.last_sequence();
+            inner.last_published.store(seq, Ordering::Release);
+            inner.delete_obsolete_files(&mut state);
+        }
+
+        // Background workers.
+        let (tx, rx) = unbounded::<Job>();
+        *inner.job_tx.lock() = Some(tx);
+        let mut threads = Vec::new();
+        for _ in 0..inner.opts.max_background_jobs {
+            let inner = inner.clone();
+            let rx: Receiver<Job> = rx.clone();
+            threads.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Flush => inner.background_flush(),
+                        Job::Compaction => inner.background_compaction(),
+                    }
+                }
+            }));
+        }
+        {
+            let mut state = inner.state.lock();
+            inner.maybe_schedule(&mut state);
+        }
+        Ok(Db { inner, threads, crash_on_drop: false })
+    }
+
+    /// Stores `value` under `key`.
+    pub fn put(&self, wopts: &WriteOptions, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(wopts, batch)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, wopts: &WriteOptions, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(wopts, batch)
+    }
+
+    /// Applies a batch atomically. Concurrent writers are group-committed:
+    /// the first to arrive becomes the leader, drains the queue, writes one
+    /// combined WAL record, and applies everything to the memtable.
+    pub fn write(&self, wopts: &WriteOptions, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(Error::Shutdown);
+        }
+        let slot = Arc::new(Mutex::new(None));
+        self.inner.commit_queue.lock().push(Pending {
+            batch,
+            sync: wopts.sync,
+            slot: slot.clone(),
+        });
+        let leader_guard = self.inner.leader.lock();
+        if let Some(result) = slot.lock().take() {
+            // An earlier leader committed us while we waited.
+            drop(leader_guard);
+            return result;
+        }
+        let group: Vec<Pending> = std::mem::take(&mut *self.inner.commit_queue.lock());
+        debug_assert!(!group.is_empty());
+        let result = self.inner.commit_group(&group);
+        for p in &group {
+            *p.slot.lock() = Some(result.clone());
+        }
+        drop(leader_guard);
+        result
+    }
+
+    /// Point lookup at the latest state (or the snapshot in `ropts`).
+    pub fn get(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        let seq = ropts
+            .snapshot_seq
+            .unwrap_or_else(|| self.inner.last_published.load(Ordering::Acquire));
+        let (mem, imms, version) = {
+            let state = self.inner.state.lock();
+            (state.mem.clone(), state.imm.clone(), state.versions.current())
+        };
+        match mem.get(key, seq) {
+            LookupResult::Found(v) => {
+                self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(v));
+            }
+            LookupResult::Deleted => return Ok(None),
+            LookupResult::NotFound => {}
+        }
+        for imm in imms.iter().rev() {
+            match imm.get(key, seq) {
+                LookupResult::Found(v) => {
+                    self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(v));
+                }
+                LookupResult::Deleted => return Ok(None),
+                LookupResult::NotFound => {}
+            }
+        }
+        match version.get(&self.inner.table_cache, key, seq)? {
+            GetResult::Found(v) => {
+                self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(v))
+            }
+            GetResult::Deleted | GetResult::NotFound => Ok(None),
+        }
+    }
+
+    /// Creates a consistent point-in-time snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut state = self.inner.state.lock();
+        let id = state.next_snapshot_id;
+        state.next_snapshot_id += 1;
+        let seq = self.inner.last_published.load(Ordering::Acquire);
+        state.snapshots.insert(id, seq);
+        Snapshot { inner: self.inner.clone(), id, seq }
+    }
+
+    /// An iterator over live keys, visible at the latest state (or the
+    /// snapshot in `ropts`).
+    pub fn iter(&self, ropts: &ReadOptions) -> Result<DbIterator> {
+        let seq = ropts
+            .snapshot_seq
+            .unwrap_or_else(|| self.inner.last_published.load(Ordering::Acquire));
+        let (mem, imms, version) = {
+            let state = self.inner.state.lock();
+            (state.mem.clone(), state.imm.clone(), state.versions.current())
+        };
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(mem.iter()));
+        for imm in imms.iter().rev() {
+            children.push(Box::new(imm.iter()));
+        }
+        children.extend(version.iterators(&self.inner.table_cache)?);
+        Ok(DbIterator {
+            merged: MergingIterator::new(children),
+            seq,
+            current: None,
+            _pins: (mem, imms),
+        })
+    }
+
+    /// Range scan: up to `limit` live `(key, value)` pairs with
+    /// `key >= start`.
+    pub fn scan(&self, ropts: &ReadOptions, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut it = self.iter(ropts)?;
+        it.seek(start);
+        let mut out = Vec::with_capacity(limit.min(1024));
+        while it.valid() && out.len() < limit {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        Ok(out)
+    }
+
+    /// Forces the active memtable to flush and waits until no immutable
+    /// memtables remain.
+    pub fn flush(&self) -> Result<()> {
+        {
+            // Rotate under the leader lock so we never race a commit.
+            let _leader = self.inner.leader.lock();
+            let mut state = self.inner.state.lock();
+            if !state.mem.is_empty() {
+                self.inner.switch_memtable(&mut state)?;
+                self.inner.maybe_schedule(&mut state);
+            }
+        }
+        let mut state = self.inner.state.lock();
+        while !state.imm.is_empty() && state.bg_error.is_none() {
+            self.inner.work_cv.wait(&mut state);
+        }
+        state.bg_error.clone().map_or(Ok(()), Err)
+    }
+
+    /// Blocks until no flush or compaction work remains.
+    pub fn wait_for_background_work(&self) -> Result<()> {
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(e) = &state.bg_error {
+                return Err(e.clone());
+            }
+            let more = !state.imm.is_empty()
+                || state.flush_scheduled
+                || state.compaction_scheduled
+                || pick_compaction(&state.versions.current(), &self.inner.opts.compaction)
+                    .is_some();
+            if !more {
+                return Ok(());
+            }
+            self.inner.maybe_schedule(&mut state);
+            self.inner.work_cv.wait(&mut state);
+        }
+    }
+
+    /// Flushes everything and compacts until the picker finds no work.
+    pub fn compact_all(&self) -> Result<()> {
+        self.flush()?;
+        self.wait_for_background_work()
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn statistics(&self) -> Arc<Statistics> {
+        self.inner.stats.clone()
+    }
+
+    /// Walks every live SST file, re-reading and checksum-verifying every
+    /// block (through decryption when encrypted) and cross-checking entry
+    /// counts against the properties block. Returns per-database totals.
+    pub fn verify_integrity(&self) -> Result<IntegrityReport> {
+        let version = {
+            let state = self.inner.state.lock();
+            state.versions.current()
+        };
+        let mut report = IntegrityReport::default();
+        for number in version.live_files() {
+            let table = self.inner.table_cache.get(number)?;
+            let mut it = table.iter();
+            it.seek_to_first();
+            let mut entries = 0u64;
+            let mut prev: Option<Vec<u8>> = None;
+            while it.valid() {
+                let key = it.key().to_vec();
+                if let Some(p) = &prev {
+                    if crate::types::internal_key_cmp(p, &key) != std::cmp::Ordering::Less {
+                        return Err(Error::Corruption(format!(
+                            "file {number}: keys out of order"
+                        )));
+                    }
+                }
+                prev = Some(key);
+                entries += 1;
+                it.next();
+            }
+            it.status()?;
+            let expected = table.properties().num_entries;
+            if entries != expected {
+                return Err(Error::Corruption(format!(
+                    "file {number}: {entries} entries, properties claim {expected}"
+                )));
+            }
+            report.files += 1;
+            report.entries += entries;
+            report.bytes += version
+                .files
+                .iter()
+                .flatten()
+                .find(|f| f.number == number)
+                .map_or(0, |f| f.file_size);
+        }
+        Ok(report)
+    }
+
+    /// `(files, bytes)` per level, for reporting.
+    #[must_use]
+    pub fn level_summary(&self) -> Vec<(usize, u64)> {
+        let state = self.inner.state.lock();
+        let v = state.versions.current();
+        (0..v.files.len()).map(|l| (v.level_files(l), v.level_size(l))).collect()
+    }
+
+    /// Block-cache `(hits, misses)`.
+    #[must_use]
+    pub fn cache_hit_miss(&self) -> (u64, u64) {
+        self.inner.block_cache.as_ref().map_or((0, 0), |c| c.hit_miss())
+    }
+
+    /// The database directory.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.inner.path
+    }
+
+    /// Highest sequence number visible to readers.
+    #[must_use]
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.inner.last_published.load(Ordering::Acquire)
+    }
+
+    /// Drops the handle *without* the clean-shutdown WAL flush, simulating
+    /// a process crash: anything still in application buffers (including
+    /// SHIELD's WAL encryption buffer) is lost, exactly the §5.3 trade-off.
+    pub fn simulate_process_crash(mut self) {
+        self.crash_on_drop = true;
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        // Closing the channel stops the workers.
+        self.inner.job_tx.lock().take();
+        {
+            let mut state = self.inner.state.lock();
+            self.inner.work_cv.notify_all();
+            if let Some(mut w) = state.wal.take() {
+                if !self.crash_on_drop {
+                    let _ = w.sync();
+                }
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl DbInner {
+    /// Creates a new WAL file (encrypted, with the §5.3 buffer, when
+    /// SHIELD is enabled).
+    fn new_wal(&self, number: u64) -> Result<LogWriter> {
+        let path = shield_env::join_path(&self.path, &wal_file_name(number));
+        let file = match &self.opts.encryption {
+            Some(cfg) => cfg.new_writable(self.env.as_ref(), &path, FileKind::Wal)?.0,
+            None => self.env.new_writable_file(&path, FileKind::Wal)?,
+        };
+        Ok(LogWriter::new(file))
+    }
+
+    /// Group-commit body, run by the leader.
+    fn commit_group(&self, group: &[Pending]) -> Result<()> {
+        let mut combined = if group.len() == 1 {
+            group[0].batch.clone()
+        } else {
+            let mut c = WriteBatch::new();
+            for p in group {
+                c.append(&p.batch);
+            }
+            c
+        };
+        let count = u64::from(combined.count());
+        if count == 0 {
+            return Ok(());
+        }
+        let sync = self.opts.wal_sync_writes || group.iter().any(|p| p.sync);
+
+        let (mem, mut wal, base) = {
+            let mut state = self.state.lock();
+            self.make_room_for_write(&mut state)?;
+            let base = state.versions.last_sequence() + 1;
+            state.versions.set_last_sequence(base + count - 1);
+            (state.mem.clone(), state.wal.take(), base)
+        };
+        combined.set_sequence(base);
+
+        let mut wal_result: Result<()> = Ok(());
+        if !self.opts.disable_wal {
+            if let Some(w) = wal.as_mut() {
+                wal_result = w
+                    .add_record(combined.data())
+                    .and_then(|()| w.flush())
+                    .and_then(|()| if sync { w.sync() } else { Ok(()) });
+                if wal_result.is_ok() {
+                    self.stats
+                        .wal_bytes
+                        .fetch_add(combined.data().len() as u64, Ordering::Relaxed);
+                    if sync {
+                        self.stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if wal_result.is_ok() {
+            combined.insert_into(&mem)?;
+            self.last_published.store(base + count - 1, Ordering::Release);
+            self.stats.writes.fetch_add(count, Ordering::Relaxed);
+            self.stats.write_groups.fetch_add(1, Ordering::Relaxed);
+        }
+        // Return the WAL even on failure; the writer stays usable for
+        // later rotation.
+        self.state.lock().wal = wal;
+        wal_result
+    }
+
+    /// Ensures the active memtable has room, rotating and stalling as
+    /// needed. Called by the commit leader with the state lock held.
+    fn make_room_for_write(&self, state: &mut parking_lot::MutexGuard<'_, State>) -> Result<()> {
+        let mut slowed_down = false;
+        loop {
+            if let Some(e) = &state.bg_error {
+                return Err(e.clone());
+            }
+            if self.shutting_down.load(Ordering::Acquire) {
+                return Err(Error::Shutdown);
+            }
+            let l0 = state.versions.current().level_files(0);
+            // FIFO keeps its entire dataset in L0 by design; L0 file-count
+            // backpressure does not apply (as in RocksDB).
+            let l0_backpressure =
+                self.opts.compaction.style != crate::compaction::CompactionStyle::Fifo;
+            if l0_backpressure
+                && !slowed_down
+                && l0 >= self.opts.l0_slowdown_trigger
+                && l0 < self.opts.l0_stop_trigger
+            {
+                // Gentle backpressure: sleep once outside the lock.
+                slowed_down = true;
+                self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                let t0 = std::time::Instant::now();
+                parking_lot::MutexGuard::unlocked(state, || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+                self.stats
+                    .stall_micros
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                continue;
+            }
+            if state.mem.approximate_memory_usage() < self.opts.write_buffer_size {
+                return Ok(());
+            }
+            if state.imm.len() >= self.opts.max_immutable_memtables
+                || (l0_backpressure
+                    && l0 >= self.opts.l0_stop_trigger
+                    && pick_compaction(&state.versions.current(), &self.opts.compaction)
+                        .is_some())
+            {
+                // Hard stall until background work catches up. An L0 pile-up
+                // that no compaction can reduce (e.g. compaction disabled by
+                // configuration) must not stall forever.
+                self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                let t0 = std::time::Instant::now();
+                self.maybe_schedule(state);
+                self.work_cv.wait(state);
+                self.stats
+                    .stall_micros
+                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                continue;
+            }
+            self.switch_memtable(state)?;
+            self.maybe_schedule(state);
+        }
+    }
+
+    /// Moves the active memtable to the immutable list and starts a fresh
+    /// memtable + WAL.
+    fn switch_memtable(&self, state: &mut parking_lot::MutexGuard<'_, State>) -> Result<()> {
+        let new_number = state.versions.new_file_number();
+        let new_wal = self.new_wal(new_number)?;
+        if let Some(mut old) = state.wal.take() {
+            // Drain any buffered (possibly still-unencrypted) bytes; the
+            // old WAL must be complete before its memtable is flushable.
+            old.sync()?;
+        }
+        let old_mem = std::mem::replace(
+            &mut state.mem,
+            Arc::new(MemTable::new(new_number)),
+        );
+        // Re-tag the new memtable with the WAL that backs it.
+        state.imm.push(old_mem);
+        state.wal = Some(new_wal);
+        state.wal_number = new_number;
+        Ok(())
+    }
+
+    /// Schedules flush/compaction work if warranted. State lock held.
+    fn maybe_schedule(&self, state: &mut State) {
+        if self.shutting_down.load(Ordering::Acquire) || state.bg_error.is_some() {
+            return;
+        }
+        let tx = self.job_tx.lock();
+        let Some(tx) = tx.as_ref() else { return };
+        if !state.flush_scheduled && !state.imm.is_empty() {
+            state.flush_scheduled = true;
+            let _ = tx.send(Job::Flush);
+        }
+        if !state.compaction_scheduled {
+            if let Some(task) =
+                pick_compaction(&state.versions.current(), &self.opts.compaction)
+            {
+                if !self.task_conflicts(state, &task) {
+                    state.compaction_scheduled = true;
+                    let _ = tx.send(Job::Compaction);
+                }
+            }
+        }
+    }
+
+    fn task_conflicts(&self, state: &State, task: &CompactionTask) -> bool {
+        let files: Vec<u64> = match task {
+            CompactionTask::Merge { inputs, overlaps, .. } => inputs
+                .iter()
+                .chain(overlaps.iter())
+                .map(|f| f.number)
+                .collect(),
+            CompactionTask::FifoTrim { files } => files.iter().map(|f| f.number).collect(),
+        };
+        files.iter().any(|n| state.busy_files.contains(n))
+    }
+
+    /// Builds an L0 table from a memtable. Runs without the state lock.
+    fn write_level0_table(&self, mem: &MemTable, number: u64) -> Result<FileMeta> {
+        let path = shield_env::join_path(&self.path, &sst_file_name(number));
+        let (file, dek_id) = match &self.opts.encryption {
+            Some(cfg) => {
+                let (f, id) = cfg.new_writable(self.env.as_ref(), &path, FileKind::Sst)?;
+                (f, Some(id))
+            }
+            None => (self.env.new_writable_file(&path, FileKind::Sst)?, None),
+        };
+        let opts = TableBuilderOptions {
+            block_size: self.opts.block_size,
+            restart_interval: self.opts.restart_interval,
+            bloom_bits_per_key: self.opts.bloom_bits_per_key,
+            dek_id,
+        };
+        let mut builder = TableBuilder::new(file, opts);
+        let mut it = mem.iter();
+        it.seek_to_first();
+        while it.valid() {
+            builder.add(it.key(), it.value())?;
+            InternalIterator::next(&mut it);
+        }
+        let (props, size) = builder.finish()?;
+        self.stats.flush_bytes.fetch_add(size, Ordering::Relaxed);
+        self.stats.sst_files_created.fetch_add(1, Ordering::Relaxed);
+        Ok(FileMeta {
+            number,
+            file_size: size,
+            smallest: make_internal_key(&props.smallest_user_key, MAX_SEQUENCE, ValueType::Value),
+            largest: make_internal_key(&props.largest_user_key, 0, ValueType::Deletion),
+            dek_id: props.dek_id,
+        })
+    }
+
+    fn background_flush(&self) {
+        loop {
+            let (mem, number) = {
+                let mut state = self.state.lock();
+                let Some(mem) = state.imm.first().cloned() else {
+                    state.flush_scheduled = false;
+                    self.work_cv.notify_all();
+                    return;
+                };
+                let number = state.versions.new_file_number();
+                state.pending_outputs.insert(number);
+                (mem, number)
+            };
+            let result = if mem.is_empty() {
+                Ok(None)
+            } else {
+                self.write_level0_table(&mem, number).map(Some)
+            };
+            let mut state = self.state.lock();
+            state.pending_outputs.remove(&number);
+            match result {
+                Ok(meta) => {
+                    // The WAL needed going forward is the one behind the
+                    // next-oldest memtable (or the active one).
+                    let min_wal = state
+                        .imm
+                        .get(1)
+                        .map_or(state.wal_number, |m| m.wal_number());
+                    let mut edit =
+                        VersionEdit { log_number: Some(min_wal), ..VersionEdit::default() };
+                    if let Some(meta) = meta {
+                        edit.new_files.push((0, meta));
+                    }
+                    match state.versions.log_and_apply(edit) {
+                        Ok(_) => {
+                            state.imm.remove(0);
+                            self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                            self.delete_obsolete_files(&mut state);
+                            self.maybe_schedule(&mut state);
+                            self.work_cv.notify_all();
+                        }
+                        Err(e) => {
+                            state.bg_error = Some(e);
+                            state.flush_scheduled = false;
+                            self.work_cv.notify_all();
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    state.bg_error = Some(e);
+                    state.flush_scheduled = false;
+                    self.work_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn background_compaction(&self) {
+        // Pick under the lock; run without it.
+        let (task, version, smallest_snapshot) = {
+            let mut state = self.state.lock();
+            let version = state.versions.current();
+            let Some(task) = pick_compaction(&version, &self.opts.compaction) else {
+                state.compaction_scheduled = false;
+                self.work_cv.notify_all();
+                return;
+            };
+            if self.task_conflicts(&state, &task) {
+                state.compaction_scheduled = false;
+                self.work_cv.notify_all();
+                return;
+            }
+            match &task {
+                CompactionTask::Merge { inputs, overlaps, .. } => {
+                    for f in inputs.iter().chain(overlaps.iter()) {
+                        state.busy_files.insert(f.number);
+                    }
+                }
+                CompactionTask::FifoTrim { files } => {
+                    for f in files {
+                        state.busy_files.insert(f.number);
+                    }
+                }
+            }
+            let smallest_snapshot = state
+                .snapshots
+                .values()
+                .min()
+                .copied()
+                .unwrap_or_else(|| self.last_published.load(Ordering::Acquire));
+            (task, version, smallest_snapshot)
+        };
+
+        let table_options = TableBuilderOptions {
+            block_size: self.opts.block_size,
+            restart_interval: self.opts.restart_interval,
+            bloom_bits_per_key: self.opts.bloom_bits_per_key,
+            dek_id: None,
+        };
+        let inner_self = self;
+        let mut alloc = || {
+            let mut state = inner_self.state.lock();
+            let n = state.versions.new_file_number();
+            state.pending_outputs.insert(n);
+            n
+        };
+        let exec_start = std::time::Instant::now();
+        let result = match &self.opts.compaction_executor {
+            Some(executor) => {
+                // Offloaded: the remote worker resolves DEKs itself from
+                // the DEK-IDs embedded in the file metadata (§5.4).
+                let request = crate::compaction::CompactionRequest {
+                    db_path: &self.path,
+                    task: &task,
+                    version: &version,
+                    smallest_snapshot,
+                    table_options,
+                    target_file_size: self.opts.compaction.target_file_size,
+                };
+                executor.execute(&request, &mut alloc)
+            }
+            None => {
+                let mut ctx = CompactionContext {
+                    env: &self.env,
+                    db_path: &self.path,
+                    encryption: self.opts.encryption.as_ref(),
+                    table_cache: &self.table_cache,
+                    version: &version,
+                    smallest_snapshot,
+                    table_options,
+                    target_file_size: self.opts.compaction.target_file_size,
+                    next_file_number: &mut alloc,
+                };
+                run_compaction(&mut ctx, &task)
+            }
+        };
+        self.stats
+            .compaction_micros
+            .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+
+        let mut state = self.state.lock();
+        match &task {
+            CompactionTask::Merge { inputs, overlaps, .. } => {
+                for f in inputs.iter().chain(overlaps.iter()) {
+                    state.busy_files.remove(&f.number);
+                }
+            }
+            CompactionTask::FifoTrim { files } => {
+                for f in files {
+                    state.busy_files.remove(&f.number);
+                }
+            }
+        }
+        match result {
+            Ok(outcome) => {
+                for (_, meta) in &outcome.edit.new_files {
+                    state.pending_outputs.remove(&meta.number);
+                }
+                match state.versions.log_and_apply(outcome.edit.clone()) {
+                    Ok(_) => {
+                        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .compaction_bytes_read
+                            .fetch_add(outcome.bytes_read, Ordering::Relaxed);
+                        self.stats
+                            .compaction_bytes_written
+                            .fetch_add(outcome.bytes_written, Ordering::Relaxed);
+                        self.stats
+                            .sst_files_created
+                            .fetch_add(outcome.outputs as u64, Ordering::Relaxed);
+                        self.delete_obsolete_files(&mut state);
+                    }
+                    Err(e) => state.bg_error = Some(e),
+                }
+            }
+            Err(e) => state.bg_error = Some(e),
+        }
+        state.compaction_scheduled = false;
+        self.maybe_schedule(&mut state);
+        self.work_cv.notify_all();
+    }
+
+    /// Removes files no longer referenced: old WALs, compacted-away SSTs,
+    /// superseded manifests. In SHIELD mode each deleted file's DEK is
+    /// pruned from the secure cache and revoked at the KDS — this is the
+    /// "old DEKs die with their files" half of key rotation (§5.2).
+    fn delete_obsolete_files(&self, state: &mut State) {
+        let live: HashSet<u64> = state.versions.current().live_files().into_iter().collect();
+        let min_wal = state
+            .imm
+            .first()
+            .map_or(state.wal_number, |m| m.wal_number())
+            .min(state.versions.log_number().max(1));
+        let Ok(names) = self.env.list_dir(&self.path) else { return };
+        for name in names {
+            let Some(kind) = parse_file_name(&name) else { continue };
+            let (remove, file_kind, evict) = match kind {
+                FileType::Wal(n) => (n < min_wal && n < state.wal_number, FileKind::Wal, None),
+                FileType::Sst(n) => (
+                    !live.contains(&n)
+                        && !state.pending_outputs.contains(&n)
+                        && !state.busy_files.contains(&n),
+                    FileKind::Sst,
+                    Some(n),
+                ),
+                FileType::Manifest(n) => {
+                    (n != state.versions.manifest_number(), FileKind::Manifest, None)
+                }
+                // Temp files may be mid-rename (e.g. the secure cache's
+                // atomic persist runs outside the state lock), so runtime
+                // GC must leave them alone; stale ones are harmless.
+                FileType::Temp | FileType::Current | FileType::DekCache => {
+                    (false, FileKind::Other, None)
+                }
+            };
+            if !remove {
+                continue;
+            }
+            let path = shield_env::join_path(&self.path, &name);
+            if let Some(cfg) = &self.opts.encryption {
+                let _ = cfg.note_file_deleted(self.env.as_ref(), &path, file_kind);
+            }
+            if self.env.remove_file(&path).is_ok() {
+                if let Some(n) = evict {
+                    self.table_cache.evict(n);
+                    self.stats.sst_files_deleted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Replays WAL segments newer than the manifest's log number into a
+    /// recovery memtable, flushing it to L0.
+    fn recover_wals(self: &Arc<Self>) -> Result<()> {
+        let names = self.env.list_dir(&self.path)?;
+        let mut wals: Vec<u64> = names
+            .iter()
+            .filter_map(|n| match parse_file_name(n) {
+                Some(FileType::Wal(num)) => Some(num),
+                _ => None,
+            })
+            .collect();
+        wals.sort_unstable();
+        let (min_log, mut max_seq) = {
+            let state = self.state.lock();
+            (state.versions.log_number(), state.versions.last_sequence())
+        };
+
+        let mem = Arc::new(MemTable::new(0));
+        for number in wals.into_iter().filter(|n| *n >= min_log) {
+            let path = shield_env::join_path(&self.path, &wal_file_name(number));
+            let file = match &self.opts.encryption {
+                Some(cfg) => cfg.open_sequential(self.env.as_ref(), &path, FileKind::Wal)?,
+                None => self.env.new_sequential_file(&path, FileKind::Wal)?,
+            };
+            let mut reader = LogReader::new(file);
+            while let Some(record) = reader.read_record()? {
+                let batch = WriteBatch::from_data(&record)?;
+                batch.insert_into(&mem)?;
+                max_seq = max_seq.max(batch.sequence() + u64::from(batch.count()) - 1);
+            }
+        }
+        let mut state = self.state.lock();
+        state.versions.set_last_sequence(max_seq);
+        if !mem.is_empty() {
+            let number = state.versions.new_file_number();
+            state.pending_outputs.insert(number);
+            // Build while holding the lock: open() is single-threaded.
+            let meta = self.write_level0_table(&mem, number)?;
+            state.pending_outputs.remove(&number);
+            let edit = VersionEdit {
+                new_files: vec![(0, meta)],
+                ..VersionEdit::default()
+            };
+            state.versions.log_and_apply(edit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`Db::verify_integrity`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// SST files verified.
+    pub files: usize,
+    /// Entries read (including tombstones).
+    pub entries: u64,
+    /// Total bytes of verified files.
+    pub bytes: u64,
+}
+
+/// A point-in-time read view. Dropping it releases the sequence pin so
+/// compaction may reclaim shadowed versions.
+pub struct Snapshot {
+    inner: Arc<DbInner>,
+    id: u64,
+    seq: SequenceNumber,
+}
+
+impl Snapshot {
+    /// The sequence this snapshot reads at; feed it to
+    /// [`ReadOptions::snapshot_seq`].
+    #[must_use]
+    pub fn sequence(&self) -> SequenceNumber {
+        self.seq
+    }
+
+    /// Read options pinned to this snapshot.
+    #[must_use]
+    pub fn read_options(&self) -> ReadOptions {
+        ReadOptions { snapshot_seq: Some(self.seq), fill_cache: true }
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.inner.state.lock().snapshots.remove(&self.id);
+    }
+}
+
+/// Iterator over live user keys and values.
+pub struct DbIterator {
+    merged: MergingIterator,
+    seq: SequenceNumber,
+    current: Option<(Vec<u8>, Vec<u8>)>,
+    /// Keeps memtables alive while the iterator exists.
+    _pins: (Arc<MemTable>, Vec<Arc<MemTable>>),
+}
+
+impl DbIterator {
+    /// True if positioned on an entry.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Current user key.
+    #[must_use]
+    pub fn key(&self) -> &[u8] {
+        &self.current.as_ref().expect("valid").0
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> &[u8] {
+        &self.current.as_ref().expect("valid").1
+    }
+
+    /// Positions on the first live key.
+    pub fn seek_to_first(&mut self) {
+        self.merged.seek_to_first();
+        self.advance_to_visible(None);
+    }
+
+    /// Positions on the first live key >= `user_key`.
+    pub fn seek(&mut self, user_key: &[u8]) {
+        self.merged.seek(&make_lookup_key(user_key, self.seq));
+        self.advance_to_visible(None);
+    }
+
+    /// Advances to the next live key.
+    pub fn next(&mut self) {
+        let skip = self.current.take().map(|(k, _)| k);
+        self.advance_to_visible(skip);
+    }
+
+    /// Skips invisible/shadowed/deleted entries. `skip_key` is a user key
+    /// whose remaining versions must be bypassed.
+    fn advance_to_visible(&mut self, mut skip_key: Option<Vec<u8>>) {
+        self.current = None;
+        while self.merged.valid() {
+            let ikey = self.merged.key();
+            let user_key = extract_user_key(ikey);
+            let (entry_seq, vtype) = extract_seq_type(ikey);
+            if entry_seq > self.seq {
+                self.merged.next();
+                continue;
+            }
+            if skip_key.as_deref() == Some(user_key) {
+                self.merged.next();
+                continue;
+            }
+            match vtype {
+                Some(ValueType::Deletion) => {
+                    skip_key = Some(user_key.to_vec());
+                    self.merged.next();
+                }
+                Some(ValueType::Value) => {
+                    self.current =
+                        Some((user_key.to_vec(), self.merged.value().to_vec()));
+                    return;
+                }
+                None => {
+                    // Corrupt tag: skip defensively.
+                    self.merged.next();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield_env::MemEnv;
+
+    fn open_mem() -> (MemEnv, Db) {
+        let env = MemEnv::new();
+        let opts = Options::new(Arc::new(env.clone()));
+        let db = Db::open(opts, "db").unwrap();
+        (env, db)
+    }
+
+    fn w() -> WriteOptions {
+        WriteOptions::default()
+    }
+
+    fn r() -> ReadOptions {
+        ReadOptions::new()
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let (_env, db) = open_mem();
+        db.put(&w(), b"key", b"value").unwrap();
+        assert_eq!(db.get(&r(), b"key").unwrap(), Some(b"value".to_vec()));
+        db.delete(&w(), b"key").unwrap();
+        assert_eq!(db.get(&r(), b"key").unwrap(), None);
+        assert_eq!(db.get(&r(), b"never").unwrap(), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let (_env, db) = open_mem();
+        db.put(&w(), b"k", b"v1").unwrap();
+        db.put(&w(), b"k", b"v2").unwrap();
+        assert_eq!(db.get(&r(), b"k").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn batch_is_atomic() {
+        let (_env, db) = open_mem();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.put(b"b", b"2");
+        batch.delete(b"a");
+        db.write(&w(), batch).unwrap();
+        assert_eq!(db.get(&r(), b"a").unwrap(), None);
+        assert_eq!(db.get(&r(), b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn survives_flush() {
+        let (_env, db) = open_mem();
+        for i in 0..100u32 {
+            db.put(&w(), format!("k{i:03}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(db.level_summary()[0].0 >= 1, "flush should create an L0 file");
+        for i in 0..100u32 {
+            assert_eq!(
+                db.get(&r(), format!("k{i:03}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key k{i:03}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_merge_memtable_over_sst() {
+        let (_env, db) = open_mem();
+        db.put(&w(), b"k", b"old").unwrap();
+        db.flush().unwrap();
+        db.put(&w(), b"k", b"new").unwrap();
+        assert_eq!(db.get(&r(), b"k").unwrap(), Some(b"new".to_vec()));
+        // Deletion in memtable shadows SST value.
+        db.delete(&w(), b"k").unwrap();
+        assert_eq!(db.get(&r(), b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn recovery_from_wal() {
+        let env = MemEnv::new();
+        {
+            let db = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+            db.put(&w(), b"persisted", b"yes").unwrap();
+            // Clean drop: WAL flushed.
+        }
+        let db = Db::open(Options::new(Arc::new(env)), "db").unwrap();
+        assert_eq!(db.get(&r(), b"persisted").unwrap(), Some(b"yes".to_vec()));
+    }
+
+    #[test]
+    fn recovery_after_flush_and_more_writes() {
+        let env = MemEnv::new();
+        {
+            let db = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+            for i in 0..50u32 {
+                db.put(&w(), format!("a{i:03}").as_bytes(), b"1").unwrap();
+            }
+            db.flush().unwrap();
+            for i in 0..50u32 {
+                db.put(&w(), format!("b{i:03}").as_bytes(), b"2").unwrap();
+            }
+        }
+        let db = Db::open(Options::new(Arc::new(env)), "db").unwrap();
+        assert_eq!(db.get(&r(), b"a001").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(db.get(&r(), b"b049").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn compaction_reduces_l0() {
+        let env = MemEnv::new();
+        let mut opts = Options::new(Arc::new(env));
+        opts.write_buffer_size = 4 << 10; // tiny memtable
+        opts.compaction.l0_compaction_trigger = 2;
+        opts.compaction.target_file_size = 64 << 10;
+        let db = Db::open(opts, "db").unwrap();
+        for i in 0..2000u32 {
+            db.put(&w(), format!("key{i:06}").as_bytes(), &[b'x'; 64]).unwrap();
+        }
+        db.compact_all().unwrap();
+        let summary = db.level_summary();
+        assert!(summary[0].0 <= 2, "L0 should drain, got {summary:?}");
+        assert!(summary[1].0 >= 1, "L1 should be populated, got {summary:?}");
+        // Everything still readable.
+        for i in (0..2000u32).step_by(97) {
+            assert!(db.get(&r(), format!("key{i:06}").as_bytes()).unwrap().is_some());
+        }
+        assert!(db.statistics().snapshot().compactions >= 1);
+    }
+
+    #[test]
+    fn iterator_basic() {
+        let (_env, db) = open_mem();
+        for k in ["d", "a", "c", "b"] {
+            db.put(&w(), k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        db.delete(&w(), b"c").unwrap();
+        let mut it = db.iter(&r()).unwrap();
+        it.seek_to_first();
+        let mut keys = Vec::new();
+        while it.valid() {
+            keys.push(it.key().to_vec());
+            it.next();
+        }
+        assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn iterator_across_memtable_and_sst() {
+        let (_env, db) = open_mem();
+        db.put(&w(), b"a", b"sst").unwrap();
+        db.put(&w(), b"b", b"sst").unwrap();
+        db.flush().unwrap();
+        db.put(&w(), b"b", b"mem").unwrap(); // overwrites
+        db.put(&w(), b"c", b"mem").unwrap();
+        let mut it = db.iter(&r()).unwrap();
+        it.seek_to_first();
+        let mut got = Vec::new();
+        while it.valid() {
+            got.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"sst".to_vec()),
+                (b"b".to_vec(), b"mem".to_vec()),
+                (b"c".to_vec(), b"mem".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_range() {
+        let (_env, db) = open_mem();
+        for i in 0..20u32 {
+            db.put(&w(), format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        let got = db.scan(&r(), b"k05", 5).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].0, b"k05");
+        assert_eq!(got[4].0, b"k09");
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let (_env, db) = open_mem();
+        db.put(&w(), b"k", b"v1").unwrap();
+        let snap = db.snapshot();
+        db.put(&w(), b"k", b"v2").unwrap();
+        db.delete(&w(), b"other").unwrap();
+        assert_eq!(db.get(&snap.read_options(), b"k").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(db.get(&r(), b"k").unwrap(), Some(b"v2".to_vec()));
+        // Snapshot survives flush.
+        db.flush().unwrap();
+        assert_eq!(db.get(&snap.read_options(), b"k").unwrap(), Some(b"v1".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit() {
+        let env = MemEnv::new();
+        let db = Arc::new(Db::open(Options::new(Arc::new(env)), "db").unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        db.put(&w(), format!("t{t}-{i:04}").as_bytes(), b"v").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = db.statistics().snapshot();
+        assert_eq!(stats.writes, 1600);
+        // Spot check.
+        for t in 0..8 {
+            assert!(db.get(&r(), format!("t{t}-0199").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn process_crash_loses_only_unflushed_tail() {
+        let env = MemEnv::new();
+        {
+            let db = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+            db.put(&w(), b"acked", b"1").unwrap();
+            db.simulate_process_crash();
+        }
+        // Plaintext unbuffered WAL flushes per commit, so the write
+        // survives a process crash.
+        let db = Db::open(Options::new(Arc::new(env)), "db").unwrap();
+        assert_eq!(db.get(&r(), b"acked").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn system_crash_respects_sync() {
+        let env = MemEnv::new();
+        {
+            let db = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+            db.put(&WriteOptions { sync: true }, b"synced", b"1").unwrap();
+            db.put(&w(), b"unsynced", b"2").unwrap();
+            db.simulate_process_crash();
+        }
+        env.crash_system();
+        let db = Db::open(Options::new(Arc::new(env)), "db").unwrap();
+        assert_eq!(db.get(&r(), b"synced").unwrap(), Some(b"1".to_vec()));
+        // Unsynced write may or may not survive; here the MemEnv dropped it.
+        assert_eq!(db.get(&r(), b"unsynced").unwrap(), None);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let (_env, db) = open_mem();
+        db.write(&w(), WriteBatch::new()).unwrap();
+        assert_eq!(db.statistics().snapshot().writes, 0);
+    }
+
+    #[test]
+    fn reopen_empty_db() {
+        let env = MemEnv::new();
+        {
+            let _ = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+        }
+        let db = Db::open(Options::new(Arc::new(env)), "db").unwrap();
+        assert_eq!(db.get(&r(), b"x").unwrap(), None);
+    }
+
+    #[test]
+    fn verify_integrity_clean_and_corrupt() {
+        let env = MemEnv::new();
+        let db = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+        for i in 0..500u32 {
+            db.put(&w(), format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        let report = db.verify_integrity().unwrap();
+        assert!(report.files >= 1);
+        assert_eq!(report.entries, 500);
+        assert!(report.bytes > 0);
+        // Corrupt a data block in the SST and verify again.
+        let name = env
+            .list_dir("db")
+            .unwrap()
+            .into_iter()
+            .find(|n| n.ends_with(".sst"))
+            .unwrap();
+        let mut raw = env.raw_content(&format!("db/{name}")).unwrap();
+        raw[20] ^= 0xff;
+        {
+            use shield_env::FileKind;
+            let mut f = env.new_writable_file(&format!("db/{name}"), FileKind::Sst).unwrap();
+            f.append(&raw).unwrap();
+            f.sync().unwrap();
+        }
+        // Evict the cached reader and cached blocks by reopening.
+        drop(db);
+        let mut opts = Options::new(Arc::new(env));
+        opts.block_cache_bytes = 0;
+        let db = Db::open(opts, "db").unwrap();
+        assert!(matches!(db.verify_integrity(), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn error_if_exists() {
+        let env = MemEnv::new();
+        let _ = Db::open(Options::new(Arc::new(env.clone())), "db").unwrap();
+        let mut opts = Options::new(Arc::new(env));
+        opts.error_if_exists = true;
+        assert!(matches!(Db::open(opts, "db"), Err(Error::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn create_if_missing_false() {
+        let env = MemEnv::new();
+        let mut opts = Options::new(Arc::new(env));
+        opts.create_if_missing = false;
+        assert!(Db::open(opts, "nope").is_err());
+    }
+}

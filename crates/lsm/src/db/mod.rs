@@ -1,0 +1,10 @@
+//! The database facade: options, write batches, and the [`Db`] itself.
+
+pub mod batch;
+#[allow(clippy::module_inception)]
+pub mod db;
+pub mod options;
+
+pub use batch::WriteBatch;
+pub use db::{Db, DbIterator, Snapshot};
+pub use options::{Options, ReadOptions, WriteOptions};

@@ -1,0 +1,165 @@
+//! Database configuration.
+
+use std::sync::Arc;
+
+use shield_env::Env;
+
+pub use crate::compaction::CompactionStyle;
+use crate::compaction::CompactionParams;
+use crate::encryption::EncryptionConfig;
+use crate::statistics::Statistics;
+
+/// Configuration for opening a [`crate::Db`].
+///
+/// Defaults follow the paper's scaled-down benchmark profile: 4 MiB
+/// memtables, 4 KiB blocks, 10-bit blooms, leveled compaction with
+/// fanout 10, and no encryption. Enable SHIELD with
+/// [`Options::with_encryption`].
+#[derive(Clone)]
+pub struct Options {
+    /// Storage environment (local, in-memory, or disaggregated).
+    pub env: Arc<dyn Env>,
+    /// Create the database if it does not exist.
+    pub create_if_missing: bool,
+    /// Fail if the database already exists.
+    pub error_if_exists: bool,
+    /// Memtable size that triggers a flush.
+    pub write_buffer_size: usize,
+    /// How many immutable memtables may queue before writers stall.
+    pub max_immutable_memtables: usize,
+    /// SST data-block size (RocksDB default 4096).
+    pub block_size: usize,
+    /// Restart interval within blocks.
+    pub restart_interval: usize,
+    /// Bloom bits per key (0 disables filters).
+    pub bloom_bits_per_key: usize,
+    /// Block cache capacity in bytes (0 disables the cache).
+    pub block_cache_bytes: usize,
+    /// Max open table readers.
+    pub max_open_files: usize,
+    /// Compaction policy and thresholds.
+    pub compaction: CompactionParams,
+    /// L0 file count at which writes are slowed.
+    pub l0_slowdown_trigger: usize,
+    /// L0 file count at which writes stop until compaction catches up.
+    pub l0_stop_trigger: usize,
+    /// Background worker threads (flushes + compactions).
+    pub max_background_jobs: usize,
+    /// Make every write group durable (`sync`) before acknowledging.
+    pub wal_sync_writes: bool,
+    /// Skip the WAL entirely (crash-unsafe; for experiments only).
+    pub disable_wal: bool,
+    /// SHIELD encryption; `None` runs plaintext.
+    pub encryption: Option<EncryptionConfig>,
+    /// Where compactions run: `None` = in-process; `Some` = offloaded
+    /// (e.g. to the disaggregated storage server, paper §5.6).
+    pub compaction_executor: Option<Arc<dyn crate::compaction::CompactionExecutor>>,
+    /// Shared engine counters.
+    pub statistics: Arc<Statistics>,
+}
+
+impl Options {
+    /// Creates options bound to `env` with benchmark-profile defaults.
+    #[must_use]
+    pub fn new(env: Arc<dyn Env>) -> Self {
+        Options {
+            env,
+            create_if_missing: true,
+            error_if_exists: false,
+            write_buffer_size: 4 * 1024 * 1024,
+            max_immutable_memtables: 2,
+            block_size: 4096,
+            restart_interval: 16,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 32 * 1024 * 1024,
+            max_open_files: 500,
+            compaction: CompactionParams::default(),
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 16,
+            max_background_jobs: 4,
+            wal_sync_writes: false,
+            disable_wal: false,
+            encryption: None,
+            compaction_executor: None,
+            statistics: Statistics::new(),
+        }
+    }
+
+    /// Enables SHIELD encryption.
+    #[must_use]
+    pub fn with_encryption(mut self, cfg: EncryptionConfig) -> Self {
+        self.encryption = Some(cfg);
+        self
+    }
+
+    /// Sets the compaction style, keeping other thresholds.
+    #[must_use]
+    pub fn with_compaction_style(mut self, style: CompactionStyle) -> Self {
+        self.compaction.style = style;
+        self
+    }
+
+    /// Sets the memtable size.
+    #[must_use]
+    pub fn with_write_buffer_size(mut self, bytes: usize) -> Self {
+        self.write_buffer_size = bytes;
+        self
+    }
+
+    /// Sets the background thread count.
+    #[must_use]
+    pub fn with_background_jobs(mut self, jobs: usize) -> Self {
+        self.max_background_jobs = jobs.max(1);
+        self
+    }
+}
+
+/// Per-read options.
+#[derive(Clone, Copy, Default)]
+pub struct ReadOptions {
+    /// Read at this snapshot sequence instead of the latest state.
+    pub snapshot_seq: Option<u64>,
+    /// Skip the block cache for this read (fill nor lookup).
+    pub fill_cache: bool,
+}
+
+impl ReadOptions {
+    /// Default read options (latest data, cache enabled).
+    #[must_use]
+    pub fn new() -> Self {
+        ReadOptions { snapshot_seq: None, fill_cache: true }
+    }
+}
+
+/// Per-write options.
+#[derive(Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Block until the WAL write is durable.
+    pub sync: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield_env::MemEnv;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = Options::new(Arc::new(MemEnv::new()));
+        assert!(o.create_if_missing);
+        assert!(o.encryption.is_none());
+        assert_eq!(o.block_size, 4096);
+        assert_eq!(o.compaction.fanout, 10);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = Options::new(Arc::new(MemEnv::new()))
+            .with_write_buffer_size(1 << 20)
+            .with_background_jobs(0) // clamped to 1
+            .with_compaction_style(CompactionStyle::Universal);
+        assert_eq!(o.write_buffer_size, 1 << 20);
+        assert_eq!(o.max_background_jobs, 1);
+        assert_eq!(o.compaction.style, CompactionStyle::Universal);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+use shield_env::EnvError;
+use shield_kds::resolver::ResolverError;
+
+/// Errors surfaced by database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Persistent data failed validation (checksums, format invariants).
+    Corruption(String),
+    /// Underlying storage failure.
+    Io(EnvError),
+    /// DEK resolution failed (KDS denied, cache corrupt, …).
+    Encryption(String),
+    /// The database is shutting down or already closed.
+    Shutdown,
+    /// The caller misused the API.
+    InvalidArgument(String),
+    /// A key was not found (only from APIs that promise existence).
+    NotFound,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Encryption(m) => write!(f, "encryption: {m}"),
+            Error::Shutdown => write!(f, "database is shutting down"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::NotFound => write!(f, "not found"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<EnvError> for Error {
+    fn from(e: EnvError) -> Self {
+        match e {
+            EnvError::Corruption(m) => Error::Corruption(m),
+            other => Error::Io(other),
+        }
+    }
+}
+
+impl From<ResolverError> for Error {
+    fn from(e: ResolverError) -> Self {
+        Error::Encryption(e.to_string())
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_error_conversion() {
+        let e: Error = EnvError::Corruption("bad".into()).into();
+        assert!(matches!(e, Error::Corruption(_)));
+        let e: Error = EnvError::NotFound("f".into()).into();
+        assert!(matches!(e, Error::Io(EnvError::NotFound(_))));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Error::Shutdown.to_string(), "database is shutting down");
+        assert!(Error::Corruption("x".into()).to_string().contains("x"));
+    }
+}

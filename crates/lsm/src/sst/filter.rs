@@ -1,0 +1,171 @@
+//! Bloom filter over user keys, one filter per table (LevelDB-style
+//! double hashing).
+
+/// Builds a bloom filter from key hashes.
+pub struct BloomFilterBuilder {
+    bits_per_key: usize,
+    hashes: Vec<u32>,
+}
+
+/// 32-bit hash used for bloom probes (LevelDB's bloom hash).
+#[must_use]
+pub fn bloom_hash(key: &[u8]) -> u32 {
+    hash32(key, 0xbc9f_1d34)
+}
+
+fn hash32(data: &[u8], seed: u32) -> u32 {
+    const M: u32 = 0xc6a4_a793;
+    let mut h = seed ^ (data.len() as u32).wrapping_mul(M);
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        let w = u32::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_add(w).wrapping_mul(M);
+        h ^= h >> 16;
+    }
+    let rest = chunks.remainder();
+    for (i, &b) in rest.iter().enumerate() {
+        h = h.wrapping_add(u32::from(b) << (8 * i));
+    }
+    if !rest.is_empty() {
+        h = h.wrapping_mul(M);
+        h ^= h >> 24;
+    }
+    h
+}
+
+impl BloomFilterBuilder {
+    /// Creates a builder with `bits_per_key` bits budgeted per key.
+    #[must_use]
+    pub fn new(bits_per_key: usize) -> Self {
+        BloomFilterBuilder { bits_per_key: bits_per_key.max(1), hashes: Vec::new() }
+    }
+
+    /// Records a user key.
+    pub fn add_key(&mut self, key: &[u8]) {
+        self.hashes.push(bloom_hash(key));
+    }
+
+    /// Number of keys added.
+    #[must_use]
+    pub fn num_keys(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Finalizes the filter block body: `[k: u8][bit array]`.
+    #[must_use]
+    pub fn finish(&self) -> Vec<u8> {
+        // k = bits_per_key * ln(2), clamped to [1, 30].
+        let k = ((self.bits_per_key as f64 * 0.69) as usize).clamp(1, 30);
+        let bits = (self.hashes.len() * self.bits_per_key).max(64);
+        let bytes = bits.div_ceil(8);
+        let bits = bytes * 8;
+        let mut array = vec![0u8; bytes + 1];
+        array[0] = k as u8;
+        for &h in &self.hashes {
+            let delta = h.rotate_right(17);
+            let mut h = h;
+            for _ in 0..k {
+                let bit = (h as usize) % bits;
+                array[1 + bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        array
+    }
+}
+
+/// Queries a serialized bloom filter.
+pub struct BloomFilterReader {
+    data: Vec<u8>,
+}
+
+impl BloomFilterReader {
+    /// Wraps a filter block body.
+    #[must_use]
+    pub fn new(data: Vec<u8>) -> Self {
+        BloomFilterReader { data }
+    }
+
+    /// True if `key` may be present (false = definitely absent).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.data.len() < 2 {
+            return true; // degenerate filter: answer conservatively
+        }
+        let k = self.data[0] as usize;
+        if k == 0 || k > 30 {
+            return true;
+        }
+        let bits = (self.data.len() - 1) * 8;
+        let mut h = bloom_hash(key);
+        let delta = h.rotate_right(17);
+        for _ in 0..k {
+            let bit = (h as usize) % bits;
+            if self.data[1 + bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilterBuilder::new(10);
+        let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key-{i}").into_bytes()).collect();
+        for k in &keys {
+            b.add_key(k);
+        }
+        let r = BloomFilterReader::new(b.finish());
+        for k in &keys {
+            assert!(r.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn low_false_positive_rate() {
+        let mut b = BloomFilterBuilder::new(10);
+        for i in 0..10_000 {
+            b.add_key(format!("present-{i}").as_bytes());
+        }
+        let r = BloomFilterReader::new(b.finish());
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if r.may_contain(format!("absent-{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_small_but_valid() {
+        let b = BloomFilterBuilder::new(10);
+        let data = b.finish();
+        let r = BloomFilterReader::new(data);
+        // Empty filter rejects everything (no bits set).
+        assert!(!r.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn degenerate_data_is_conservative() {
+        assert!(BloomFilterReader::new(vec![]).may_contain(b"x"));
+        assert!(BloomFilterReader::new(vec![0]).may_contain(b"x"));
+        assert!(BloomFilterReader::new(vec![31, 0xff]).may_contain(b"x"));
+    }
+
+    #[test]
+    fn hash_is_stable() {
+        // Guard against accidental hash changes breaking on-disk filters.
+        assert_eq!(bloom_hash(b""), hash32(b"", 0xbc9f_1d34));
+        assert_ne!(bloom_hash(b"a"), bloom_hash(b"b"));
+        assert_eq!(bloom_hash(b"hello"), bloom_hash(b"hello"));
+    }
+}

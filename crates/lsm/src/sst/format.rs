@@ -1,0 +1,256 @@
+//! On-disk structures shared by the table builder and reader.
+
+use shield_crypto::DekId;
+
+use crate::error::{Error, Result};
+use crate::varint::{get_length_prefixed, get_varint64, put_length_prefixed, put_varint64};
+
+/// Magic number at the end of every table file ("SHLD_SST").
+pub const TABLE_MAGIC: u64 = 0x5348_4c44_5f53_5354;
+/// Fixed footer length: three 16-byte handles + version + magic.
+pub const FOOTER_LEN: usize = 3 * 16 + 4 + 8;
+/// Per-block trailer: compression tag (1) + CRC32C (4).
+pub const BLOCK_TRAILER_LEN: usize = 5;
+/// Compression tag meaning "stored raw".
+pub const COMPRESSION_NONE: u8 = 0;
+
+/// Location of a block within the table file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct BlockHandle {
+    /// Byte offset of the block's first byte.
+    pub offset: u64,
+    /// Length of the block contents, excluding the trailer.
+    pub size: u64,
+}
+
+impl BlockHandle {
+    /// Fixed 16-byte encoding (used in the footer).
+    #[must_use]
+    pub fn encode_fixed(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..].copy_from_slice(&self.size.to_le_bytes());
+        out
+    }
+
+    /// Decodes the fixed 16-byte form.
+    #[must_use]
+    pub fn decode_fixed(data: &[u8; 16]) -> BlockHandle {
+        BlockHandle {
+            offset: u64::from_le_bytes(data[..8].try_into().unwrap()),
+            size: u64::from_le_bytes(data[8..].try_into().unwrap()),
+        }
+    }
+
+    /// Varint encoding (used as index-block values).
+    pub fn encode_varint(&self, out: &mut Vec<u8>) {
+        put_varint64(out, self.offset);
+        put_varint64(out, self.size);
+    }
+
+    /// Decodes the varint form.
+    pub fn decode_varint(data: &[u8]) -> Result<BlockHandle> {
+        let (offset, n) =
+            get_varint64(data).ok_or_else(|| Error::Corruption("bad handle".into()))?;
+        let (size, _) =
+            get_varint64(&data[n..]).ok_or_else(|| Error::Corruption("bad handle".into()))?;
+        Ok(BlockHandle { offset, size })
+    }
+}
+
+/// The fixed-size footer at the end of every table file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Footer {
+    /// Bloom-filter block (size 0 if absent).
+    pub filter: BlockHandle,
+    /// Properties block.
+    pub properties: BlockHandle,
+    /// Index block.
+    pub index: BlockHandle,
+}
+
+impl Footer {
+    /// Serializes the footer.
+    #[must_use]
+    pub fn encode(&self) -> [u8; FOOTER_LEN] {
+        let mut out = [0u8; FOOTER_LEN];
+        out[..16].copy_from_slice(&self.filter.encode_fixed());
+        out[16..32].copy_from_slice(&self.properties.encode_fixed());
+        out[32..48].copy_from_slice(&self.index.encode_fixed());
+        out[48..52].copy_from_slice(&1u32.to_le_bytes()); // format version
+        out[52..].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a footer.
+    pub fn decode(data: &[u8]) -> Result<Footer> {
+        if data.len() < FOOTER_LEN {
+            return Err(Error::Corruption("footer truncated".into()));
+        }
+        let data = &data[data.len() - FOOTER_LEN..];
+        let magic = u64::from_le_bytes(data[52..60].try_into().unwrap());
+        if magic != TABLE_MAGIC {
+            return Err(Error::Corruption(format!("bad table magic {magic:#x}")));
+        }
+        Ok(Footer {
+            filter: BlockHandle::decode_fixed(data[..16].try_into().unwrap()),
+            properties: BlockHandle::decode_fixed(data[16..32].try_into().unwrap()),
+            index: BlockHandle::decode_fixed(data[32..48].try_into().unwrap()),
+        })
+    }
+}
+
+/// Table-level metadata stored in the properties block.
+///
+/// Note: in SHIELD mode the authoritative DEK-ID lives in the *plaintext*
+/// file header (it must be readable before decryption); the copy here is
+/// informational, for tooling that inspects decrypted tables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableProperties {
+    /// Number of entries (including tombstones).
+    pub num_entries: u64,
+    /// Total bytes of user keys.
+    pub raw_key_bytes: u64,
+    /// Total bytes of values.
+    pub raw_value_bytes: u64,
+    /// Number of data blocks.
+    pub num_data_blocks: u64,
+    /// Smallest user key in the table.
+    pub smallest_user_key: Vec<u8>,
+    /// Largest user key in the table.
+    pub largest_user_key: Vec<u8>,
+    /// DEK protecting this file, if encrypted.
+    pub dek_id: Option<DekId>,
+}
+
+impl TableProperties {
+    /// Serializes the properties block body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        put_varint64(&mut out, self.num_entries);
+        put_varint64(&mut out, self.raw_key_bytes);
+        put_varint64(&mut out, self.raw_value_bytes);
+        put_varint64(&mut out, self.num_data_blocks);
+        put_length_prefixed(&mut out, &self.smallest_user_key);
+        put_length_prefixed(&mut out, &self.largest_user_key);
+        match self.dek_id {
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.to_bytes());
+            }
+            None => out.push(0),
+        }
+        out
+    }
+
+    /// Parses a properties block body.
+    pub fn decode(mut data: &[u8]) -> Result<TableProperties> {
+        let corrupt = || Error::Corruption("bad properties block".into());
+        let read_u64 = |data: &mut &[u8]| -> Result<u64> {
+            let (v, n) = get_varint64(data).ok_or_else(corrupt)?;
+            *data = &data[n..];
+            Ok(v)
+        };
+        let num_entries = read_u64(&mut data)?;
+        let raw_key_bytes = read_u64(&mut data)?;
+        let raw_value_bytes = read_u64(&mut data)?;
+        let num_data_blocks = read_u64(&mut data)?;
+        let (smallest, n) = get_length_prefixed(data).ok_or_else(corrupt)?;
+        let smallest = smallest.to_vec();
+        data = &data[n..];
+        let (largest, n) = get_length_prefixed(data).ok_or_else(corrupt)?;
+        let largest = largest.to_vec();
+        data = &data[n..];
+        let dek_id = match data.first() {
+            Some(0) => None,
+            Some(1) => {
+                if data.len() < 17 {
+                    return Err(corrupt());
+                }
+                Some(DekId::from_bytes(data[1..17].try_into().unwrap()))
+            }
+            _ => return Err(corrupt()),
+        };
+        Ok(TableProperties {
+            num_entries,
+            raw_key_bytes,
+            raw_value_bytes,
+            num_data_blocks,
+            smallest_user_key: smallest,
+            largest_user_key: largest,
+            dek_id,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_fixed_roundtrip() {
+        let h = BlockHandle { offset: 123456789, size: 4096 };
+        assert_eq!(BlockHandle::decode_fixed(&h.encode_fixed()), h);
+    }
+
+    #[test]
+    fn handle_varint_roundtrip() {
+        let h = BlockHandle { offset: u64::MAX / 3, size: 77 };
+        let mut buf = Vec::new();
+        h.encode_varint(&mut buf);
+        assert_eq!(BlockHandle::decode_varint(&buf).unwrap(), h);
+        assert!(BlockHandle::decode_varint(&[]).is_err());
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let f = Footer {
+            filter: BlockHandle { offset: 1, size: 2 },
+            properties: BlockHandle { offset: 3, size: 4 },
+            index: BlockHandle { offset: 5, size: 6 },
+        };
+        let enc = f.encode();
+        assert_eq!(Footer::decode(&enc).unwrap(), f);
+        // Works with a longer prefix, too (decoder uses the tail).
+        let mut padded = vec![0u8; 100];
+        padded.extend_from_slice(&enc);
+        assert_eq!(Footer::decode(&padded).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_bad_magic_rejected() {
+        let f = Footer {
+            filter: BlockHandle::default(),
+            properties: BlockHandle::default(),
+            index: BlockHandle::default(),
+        };
+        let mut enc = f.encode();
+        enc[55] ^= 0xff;
+        assert!(matches!(Footer::decode(&enc), Err(Error::Corruption(_))));
+        assert!(Footer::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn properties_roundtrip() {
+        let p = TableProperties {
+            num_entries: 1000,
+            raw_key_bytes: 16000,
+            raw_value_bytes: 100_000,
+            num_data_blocks: 30,
+            smallest_user_key: b"aardvark".to_vec(),
+            largest_user_key: b"zebra".to_vec(),
+            dek_id: Some(DekId(0xdeadbeef)),
+        };
+        assert_eq!(TableProperties::decode(&p.encode()).unwrap(), p);
+        let p2 = TableProperties { dek_id: None, ..p };
+        assert_eq!(TableProperties::decode(&p2.encode()).unwrap(), p2);
+    }
+
+    #[test]
+    fn properties_truncated_rejected() {
+        let p = TableProperties::default();
+        let enc = p.encode();
+        assert!(TableProperties::decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

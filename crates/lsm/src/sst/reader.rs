@@ -1,0 +1,405 @@
+//! Opens and reads SST files: footer → index → (cached, decrypted) blocks.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use shield_crypto::{crc32c, crc32c_extend, crc32c_unmask};
+use shield_env::RandomAccessFile;
+
+use crate::cache::BlockCache;
+use crate::error::{Error, Result};
+use crate::iter::InternalIterator;
+use crate::sst::block::{Block, BlockIter};
+use crate::sst::filter::BloomFilterReader;
+use crate::sst::format::{BlockHandle, Footer, TableProperties, BLOCK_TRAILER_LEN, FOOTER_LEN};
+use crate::types::{extract_user_key, make_lookup_key, SequenceNumber};
+
+/// An open, immutable table file.
+pub struct Table {
+    file: Arc<dyn RandomAccessFile>,
+    /// Unique id used as the block-cache key prefix (the file number).
+    table_id: u64,
+    index: Arc<Block>,
+    filter: Option<BloomFilterReader>,
+    props: TableProperties,
+    cache: Option<Arc<BlockCache>>,
+}
+
+impl Table {
+    /// Opens a table. `file` must already be decryption-wrapped if the
+    /// table is encrypted (see [`crate::encryption::EncryptionConfig`]).
+    pub fn open(
+        file: Arc<dyn RandomAccessFile>,
+        table_id: u64,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Table> {
+        let len = file.len()?;
+        if (len as usize) < FOOTER_LEN {
+            return Err(Error::Corruption("table smaller than footer".into()));
+        }
+        let footer_data = file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN)?;
+        let footer = Footer::decode(&footer_data)?;
+        let index_raw = read_verified_block(file.as_ref(), footer.index)?;
+        let index = Arc::new(Block::from_raw(index_raw));
+        let filter = if footer.filter.size > 0 {
+            let raw = read_verified_block(file.as_ref(), footer.filter)?;
+            Some(BloomFilterReader::new(raw.to_vec()))
+        } else {
+            None
+        };
+        let props_raw = read_verified_block(file.as_ref(), footer.properties)?;
+        let props = TableProperties::decode(&props_raw)?;
+        Ok(Table { file, table_id, index, filter, props, cache })
+    }
+
+    /// Table-level metadata.
+    #[must_use]
+    pub fn properties(&self) -> &TableProperties {
+        &self.props
+    }
+
+    /// The id used for cache keys.
+    #[must_use]
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// Loads a data block via the cache.
+    fn data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
+        if let Some(cache) = &self.cache {
+            let key = (self.table_id, handle.offset);
+            if let Some(block) = cache.get(&key) {
+                return Ok(block);
+            }
+            let raw = read_verified_block(self.file.as_ref(), handle)?;
+            let block = Arc::new(Block::from_raw(raw));
+            cache.insert(key, block.clone(), block.size());
+            Ok(block)
+        } else {
+            let raw = read_verified_block(self.file.as_ref(), handle)?;
+            Ok(Arc::new(Block::from_raw(raw)))
+        }
+    }
+
+    /// Point lookup: returns the first entry for `user_key` visible at
+    /// `seq`, as `(internal_key, value)`, or `None`.
+    pub fn get(
+        &self,
+        user_key: &[u8],
+        seq: SequenceNumber,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        if let Some(filter) = &self.filter {
+            if !filter.may_contain(user_key) {
+                return Ok(None);
+            }
+        }
+        let lookup = make_lookup_key(user_key, seq);
+        let mut index_iter = self.index.iter();
+        index_iter.seek(&lookup);
+        if !index_iter.valid() {
+            return Ok(None);
+        }
+        let handle = BlockHandle::decode_varint(index_iter.value())?;
+        let block = self.data_block(handle)?;
+        let mut it = block.iter();
+        it.seek(&lookup);
+        if it.valid() && extract_user_key(it.key()) == user_key {
+            return Ok(Some((it.key().to_vec(), it.value().to_vec())));
+        }
+        // The target may be the first key of the *next* block when the
+        // lookup key falls exactly between blocks.
+        index_iter.next();
+        if index_iter.valid() {
+            let handle = BlockHandle::decode_varint(index_iter.value())?;
+            let block = self.data_block(handle)?;
+            let mut it = block.iter();
+            it.seek(&lookup);
+            if it.valid() && extract_user_key(it.key()) == user_key {
+                return Ok(Some((it.key().to_vec(), it.value().to_vec())));
+            }
+        }
+        Ok(None)
+    }
+
+    /// True if the bloom filter rules out `user_key` (used by stats).
+    #[must_use]
+    pub fn filter_rules_out(&self, user_key: &[u8]) -> bool {
+        self.filter.as_ref().is_some_and(|f| !f.may_contain(user_key))
+    }
+
+    /// A full-table iterator.
+    #[must_use]
+    pub fn iter(self: &Arc<Self>) -> TableIterator {
+        TableIterator {
+            table: self.clone(),
+            index_iter: self.index.iter(),
+            data_iter: None,
+            status: Ok(()),
+        }
+    }
+}
+
+/// Reads a block and verifies its trailer CRC.
+fn read_verified_block(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Bytes> {
+    let total = handle.size as usize + BLOCK_TRAILER_LEN;
+    let raw = file.read_at(handle.offset, total)?;
+    if raw.len() < total {
+        return Err(Error::Corruption("block truncated".into()));
+    }
+    let contents = raw.slice(..handle.size as usize);
+    let trailer = &raw[handle.size as usize..];
+    let compression = trailer[0];
+    let stored = u32::from_le_bytes(trailer[1..5].try_into().unwrap());
+    let actual = crc32c_extend(crc32c(&contents), &[compression]);
+    if crc32c_unmask(stored) != actual {
+        return Err(Error::Corruption(format!(
+            "block checksum mismatch at offset {}",
+            handle.offset
+        )));
+    }
+    if compression != crate::sst::format::COMPRESSION_NONE {
+        return Err(Error::Corruption(format!("unsupported compression {compression}")));
+    }
+    Ok(contents)
+}
+
+/// Two-level iterator: index entries → data blocks.
+pub struct TableIterator {
+    table: Arc<Table>,
+    index_iter: BlockIter,
+    data_iter: Option<BlockIter>,
+    status: Result<()>,
+}
+
+impl TableIterator {
+    /// Loads the data block the index currently points at.
+    fn init_data_block(&mut self) {
+        self.data_iter = None;
+        if !self.index_iter.valid() {
+            return;
+        }
+        match BlockHandle::decode_varint(self.index_iter.value())
+            .and_then(|h| self.table.data_block(h))
+        {
+            Ok(block) => self.data_iter = Some(block.iter()),
+            Err(e) => self.status = Err(e),
+        }
+    }
+
+    /// Moves forward past empty blocks until the data iterator is valid or
+    /// the table is exhausted.
+    fn skip_empty_blocks_forward(&mut self) {
+        while self.data_iter.as_ref().is_none_or(|d| !d.valid()) {
+            if !self.index_iter.valid() || self.status.is_err() {
+                self.data_iter = None;
+                return;
+            }
+            self.index_iter.next();
+            self.init_data_block();
+            if let Some(d) = &mut self.data_iter {
+                d.seek_to_first();
+            }
+        }
+    }
+}
+
+impl InternalIterator for TableIterator {
+    fn valid(&self) -> bool {
+        self.data_iter.as_ref().is_some_and(BlockIter::valid)
+    }
+
+    fn seek_to_first(&mut self) {
+        self.index_iter.seek_to_first();
+        self.init_data_block();
+        if let Some(d) = &mut self.data_iter {
+            d.seek_to_first();
+        }
+        self.skip_empty_blocks_forward();
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        self.index_iter.seek(target);
+        self.init_data_block();
+        if let Some(d) = &mut self.data_iter {
+            d.seek(target);
+        }
+        self.skip_empty_blocks_forward();
+    }
+
+    fn next(&mut self) {
+        if let Some(d) = &mut self.data_iter {
+            d.next();
+        }
+        self.skip_empty_blocks_forward();
+    }
+
+    fn key(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.data_iter.as_ref().expect("valid").value()
+    }
+
+    fn status(&self) -> Result<()> {
+        self.status.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sst::builder::{TableBuilder, TableBuilderOptions};
+    use crate::types::{make_internal_key, ValueType};
+    use shield_env::{Env, FileKind, MemEnv};
+
+    fn build_table(env: &MemEnv, path: &str, n: u32, block_size: usize) -> Arc<Table> {
+        let file = env.new_writable_file(path, FileKind::Sst).unwrap();
+        let opts = TableBuilderOptions { block_size, ..TableBuilderOptions::default() };
+        let mut b = TableBuilder::new(file, opts);
+        for i in 0..n {
+            let ik = make_internal_key(format!("key{i:06}").as_bytes(), 10, ValueType::Value);
+            b.add(&ik, format!("value-{i}").as_bytes()).unwrap();
+        }
+        b.finish().unwrap();
+        let file = env.new_random_access_file(path, FileKind::Sst).unwrap();
+        Arc::new(Table::open(file, 1, None).unwrap())
+    }
+
+    #[test]
+    fn get_existing_and_missing() {
+        let env = MemEnv::new();
+        let t = build_table(&env, "t.sst", 1000, 512);
+        let hit = t.get(b"key000500", 100).unwrap().unwrap();
+        assert_eq!(hit.1, b"value-500");
+        assert!(t.get(b"key999999", 100).unwrap().is_none());
+        assert!(t.get(b"absent", 100).unwrap().is_none());
+    }
+
+    #[test]
+    fn get_respects_sequence_visibility() {
+        let env = MemEnv::new();
+        let t = build_table(&env, "t.sst", 10, 4096);
+        // All entries written at seq 10: invisible at seq 5.
+        assert!(t.get(b"key000001", 5).unwrap().is_none());
+        assert!(t.get(b"key000001", 10).unwrap().is_some());
+    }
+
+    #[test]
+    fn iterator_scans_everything_in_order() {
+        let env = MemEnv::new();
+        let t = build_table(&env, "t.sst", 500, 256);
+        let mut it = t.iter();
+        it.seek_to_first();
+        let mut count = 0;
+        let mut prev: Option<Vec<u8>> = None;
+        while it.valid() {
+            let k = it.key().to_vec();
+            if let Some(p) = &prev {
+                assert!(crate::types::internal_key_cmp(p, &k) == std::cmp::Ordering::Less);
+            }
+            prev = Some(k);
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 500);
+        it.status().unwrap();
+    }
+
+    #[test]
+    fn iterator_seek_mid_table() {
+        let env = MemEnv::new();
+        let t = build_table(&env, "t.sst", 500, 256);
+        let mut it = t.iter();
+        it.seek(&make_internal_key(b"key000250", u64::MAX >> 8, ValueType::Value));
+        assert!(it.valid());
+        assert_eq!(extract_user_key(it.key()), b"key000250");
+        // Count remaining.
+        let mut rest = 0;
+        while it.valid() {
+            rest += 1;
+            it.next();
+        }
+        assert_eq!(rest, 250);
+    }
+
+    #[test]
+    fn corrupted_block_detected() {
+        let env = MemEnv::new();
+        build_table(&env, "t.sst", 100, 4096);
+        let mut raw = env.raw_content("t.sst").unwrap();
+        raw[10] ^= 0xff; // corrupt inside first data block
+        {
+            let mut f = env.new_writable_file("t.sst", FileKind::Sst).unwrap();
+            f.append(&raw).unwrap();
+            f.sync().unwrap();
+        }
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t = Arc::new(Table::open(file, 1, None).unwrap()); // footer/index intact
+        let err = t.get(b"key000001", 100).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn bloom_filter_short_circuits() {
+        let env = MemEnv::new();
+        let t = build_table(&env, "t.sst", 1000, 512);
+        // A key far outside the table: bloom should rule it out.
+        let mut ruled_out = 0;
+        for i in 0..100 {
+            if t.filter_rules_out(format!("zzz-{i}").as_bytes()) {
+                ruled_out += 1;
+            }
+        }
+        assert!(ruled_out > 90, "bloom ruled out only {ruled_out}/100");
+    }
+
+    #[test]
+    fn block_cache_serves_repeat_reads() {
+        let env = MemEnv::new();
+        {
+            let t = build_table(&env, "t.sst", 1000, 512);
+            drop(t);
+        }
+        let cache = BlockCache::new(1 << 20);
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t = Arc::new(Table::open(file, 7, Some(cache.clone())).unwrap());
+        let _ = t.get(b"key000100", 100).unwrap();
+        let (h0, _) = cache.hit_miss();
+        let _ = t.get(b"key000100", 100).unwrap();
+        let (h1, _) = cache.hit_miss();
+        assert!(h1 > h0, "second read should hit the cache");
+    }
+
+    #[test]
+    fn works_with_encrypted_file_layer() {
+        use shield_crypto::Algorithm;
+        use shield_kds::{DekResolver, KdsConfig, LocalKds, ServerId};
+
+        let env = MemEnv::new();
+        let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+        let resolver =
+            Arc::new(DekResolver::new(kds, None, ServerId(1), Algorithm::Aes128Ctr));
+        let cfg = crate::encryption::EncryptionConfig::new(resolver);
+        let (file, dek_id) = cfg.new_writable(&env, "enc.sst", FileKind::Sst).unwrap();
+        let mut b = TableBuilder::new(
+            file,
+            TableBuilderOptions { dek_id: Some(dek_id), ..TableBuilderOptions::default() },
+        );
+        for i in 0..200u32 {
+            let ik = make_internal_key(format!("k{i:05}").as_bytes(), 3, ValueType::Value);
+            b.add(&ik, b"secret-value").unwrap();
+        }
+        b.finish().unwrap();
+        // Raw bytes on disk must not contain the key material.
+        let raw = env.raw_content("enc.sst").unwrap();
+        assert!(!raw.windows(6).any(|w| w == b"k00100"));
+        assert!(!raw.windows(12).any(|w| w == b"secret-value"));
+        // And reading through the decryption layer works.
+        let file = cfg.open_random(&env, "enc.sst", FileKind::Sst).unwrap();
+        let t = Arc::new(Table::open(file, 1, None).unwrap());
+        assert_eq!(t.properties().dek_id, Some(dek_id));
+        let hit = t.get(b"k00100", 100).unwrap().unwrap();
+        assert_eq!(hit.1, b"secret-value");
+    }
+}

@@ -1,0 +1,131 @@
+//! Engine-level counters used by the evaluation harness (throughput
+//! breakdowns, Table 3 I/O attribution, DEK accounting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+macro_rules! tickers {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Monotonic engine counters.
+        #[derive(Default)]
+        pub struct Statistics {
+            $($(#[$doc])* pub $name: AtomicU64,)*
+        }
+
+        /// A point-in-time copy of [`Statistics`].
+        #[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        impl Statistics {
+            /// Creates a zeroed, shareable counter set.
+            #[must_use]
+            pub fn new() -> Arc<Self> {
+                Arc::new(Self::default())
+            }
+
+            /// Copies all counters.
+            #[must_use]
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)*
+                }
+            }
+        }
+    };
+}
+
+tickers! {
+    /// Write operations applied (entries, not batches).
+    writes,
+    /// Batches committed through the group-commit leader.
+    write_groups,
+    /// Bytes appended to the WAL (plaintext size).
+    wal_bytes,
+    /// WAL sync/flush calls.
+    wal_syncs,
+    /// Point lookups served.
+    gets,
+    /// Point lookups that found a value.
+    gets_found,
+    /// Memtable flushes completed.
+    flushes,
+    /// Bytes written by flushes.
+    flush_bytes,
+    /// Compactions completed.
+    compactions,
+    /// Microseconds spent executing compactions.
+    compaction_micros,
+    /// Bytes read by compaction inputs.
+    compaction_bytes_read,
+    /// Bytes written by compaction outputs.
+    compaction_bytes_written,
+    /// SST files created (flush + compaction).
+    sst_files_created,
+    /// SST files deleted (obsolete after compaction).
+    sst_files_deleted,
+    /// Block-cache hits.
+    block_cache_hits,
+    /// Block-cache misses.
+    block_cache_misses,
+    /// Bloom-filter negative hits (reads avoided).
+    bloom_useful,
+    /// Write stalls triggered by L0/immutable backpressure.
+    write_stalls,
+    /// Microseconds writers spent stalled.
+    stall_micros,
+}
+
+impl StatsSnapshot {
+    /// Difference `self - earlier` per counter (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.saturating_sub(earlier.writes),
+            write_groups: self.write_groups.saturating_sub(earlier.write_groups),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            gets: self.gets.saturating_sub(earlier.gets),
+            gets_found: self.gets_found.saturating_sub(earlier.gets_found),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            flush_bytes: self.flush_bytes.saturating_sub(earlier.flush_bytes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            compaction_micros: self.compaction_micros.saturating_sub(earlier.compaction_micros),
+            compaction_bytes_read: self
+                .compaction_bytes_read
+                .saturating_sub(earlier.compaction_bytes_read),
+            compaction_bytes_written: self
+                .compaction_bytes_written
+                .saturating_sub(earlier.compaction_bytes_written),
+            sst_files_created: self.sst_files_created.saturating_sub(earlier.sst_files_created),
+            sst_files_deleted: self.sst_files_deleted.saturating_sub(earlier.sst_files_deleted),
+            block_cache_hits: self.block_cache_hits.saturating_sub(earlier.block_cache_hits),
+            block_cache_misses: self
+                .block_cache_misses
+                .saturating_sub(earlier.block_cache_misses),
+            bloom_useful: self.bloom_useful.saturating_sub(earlier.bloom_useful),
+            write_stalls: self.write_stalls.saturating_sub(earlier.write_stalls),
+            stall_micros: self.stall_micros.saturating_sub(earlier.stall_micros),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = Statistics::new();
+        s.writes.fetch_add(10, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.writes.fetch_add(5, Ordering::Relaxed);
+        s.gets.fetch_add(2, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.writes, 5);
+        assert_eq!(d.gets, 2);
+        assert_eq!(d.flushes, 0);
+    }
+}

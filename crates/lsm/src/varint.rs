@@ -1,0 +1,129 @@
+//! LEB128-style varint encoding used throughout the on-disk formats
+//! (block entries, block handles, version edits).
+
+/// Appends a varint32 to `out`.
+pub fn put_varint32(out: &mut Vec<u8>, mut v: u32) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Appends a varint64 to `out`.
+pub fn put_varint64(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Decodes a varint32 from the front of `data`, returning `(value, bytes
+/// consumed)`, or `None` if `data` is truncated or the encoding overflows.
+#[must_use]
+pub fn get_varint32(data: &[u8]) -> Option<(u32, usize)> {
+    let (v, n) = get_varint64(data)?;
+    if v > u64::from(u32::MAX) {
+        return None;
+    }
+    Some((v as u32, n))
+}
+
+/// Decodes a varint64 from the front of `data`.
+#[must_use]
+pub fn get_varint64(data: &[u8]) -> Option<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in data.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some((result, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn put_length_prefixed(out: &mut Vec<u8>, data: &[u8]) {
+    put_varint32(out, data.len() as u32);
+    out.extend_from_slice(data);
+}
+
+/// Decodes a length-prefixed byte slice from the front of `data`,
+/// returning `(slice, total bytes consumed)`.
+#[must_use]
+pub fn get_length_prefixed(data: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint32(data)?;
+    let len = len as usize;
+    if data.len() < n + len {
+        return None;
+    }
+    Some((&data[n..n + len], n + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint32_roundtrip() {
+        for v in [0u32, 1, 127, 128, 300, 16383, 16384, u32::MAX] {
+            let mut buf = Vec::new();
+            put_varint32(&mut buf, v);
+            let (decoded, n) = get_varint32(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint64_roundtrip() {
+        for v in [0u64, 1, 127, 128, 1 << 32, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (decoded, n) = get_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::MAX);
+        assert!(get_varint64(&buf[..buf.len() - 1]).is_none());
+        assert!(get_varint64(&[]).is_none());
+    }
+
+    #[test]
+    fn overlong_fails() {
+        // 11 continuation bytes exceeds 64 bits.
+        let buf = [0x80u8; 11];
+        assert!(get_varint64(&buf).is_none());
+    }
+
+    #[test]
+    fn varint32_rejects_overflow() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u64::from(u32::MAX) + 1);
+        assert!(get_varint32(&buf).is_none());
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        let (a, n) = get_length_prefixed(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, m) = get_length_prefixed(&buf[n..]).unwrap();
+        assert_eq!(b, b"");
+        assert_eq!(n + m, buf.len());
+        assert!(get_length_prefixed(&buf[..3]).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! The version set: current [`Version`], MANIFEST persistence, and
+//! file-number / sequence-number allocation.
+
+use std::sync::Arc;
+
+use shield_env::{Env, FileKind};
+
+use crate::encryption::EncryptionConfig;
+use crate::error::{Error, Result};
+use crate::version::edit::{FileMeta, VersionEdit};
+use crate::version::filenames::{current_file_name, manifest_file_name};
+use crate::version::table_cache::TableCache;
+use crate::version::version::{Version, NUM_LEVELS};
+use crate::wal::{LogReader, LogWriter};
+
+/// Owns the mutable metadata state of a database.
+pub struct VersionSet {
+    env: Arc<dyn Env>,
+    path: String,
+    encryption: Option<EncryptionConfig>,
+    table_cache: Arc<TableCache>,
+    current: Arc<Version>,
+    manifest: Option<LogWriter>,
+    manifest_number: u64,
+    next_file_number: u64,
+    last_sequence: u64,
+    log_number: u64,
+}
+
+impl VersionSet {
+    /// Creates an empty, not-yet-recovered version set.
+    #[must_use]
+    pub fn new(
+        env: Arc<dyn Env>,
+        path: String,
+        encryption: Option<EncryptionConfig>,
+        table_cache: Arc<TableCache>,
+    ) -> Self {
+        VersionSet {
+            env,
+            path,
+            encryption,
+            table_cache,
+            current: Arc::new(Version::new()),
+            manifest: None,
+            manifest_number: 0,
+            next_file_number: 1,
+            last_sequence: 0,
+            log_number: 0,
+        }
+    }
+
+    /// The current version.
+    #[must_use]
+    pub fn current(&self) -> Arc<Version> {
+        self.current.clone()
+    }
+
+    /// The table cache shared with readers.
+    #[must_use]
+    pub fn table_cache(&self) -> Arc<TableCache> {
+        self.table_cache.clone()
+    }
+
+    /// Allocates a fresh file number.
+    pub fn new_file_number(&mut self) -> u64 {
+        let n = self.next_file_number;
+        self.next_file_number += 1;
+        n
+    }
+
+    /// Last sequence number assigned to a write.
+    #[must_use]
+    pub fn last_sequence(&self) -> u64 {
+        self.last_sequence
+    }
+
+    /// Updates the last sequence number (monotonic).
+    pub fn set_last_sequence(&mut self, seq: u64) {
+        debug_assert!(seq >= self.last_sequence);
+        self.last_sequence = seq;
+    }
+
+    /// The WAL number new writes go to.
+    #[must_use]
+    pub fn log_number(&self) -> u64 {
+        self.log_number
+    }
+
+    /// The manifest file number currently in use.
+    #[must_use]
+    pub fn manifest_number(&self) -> u64 {
+        self.manifest_number
+    }
+
+    /// True if a database exists at this path (a CURRENT file is present).
+    #[must_use]
+    pub fn db_exists(env: &dyn Env, path: &str) -> bool {
+        env.file_exists(&shield_env::join_path(path, &current_file_name()))
+    }
+
+    /// Initializes a brand-new database: writes an initial manifest and the
+    /// CURRENT pointer.
+    pub fn create_new(&mut self) -> Result<()> {
+        self.log_number = 0;
+        self.roll_manifest()
+    }
+
+    /// Recovers state from the CURRENT → MANIFEST chain, then rolls to a
+    /// fresh manifest (so recovery always leaves a compact snapshot).
+    pub fn recover(&mut self) -> Result<()> {
+        let current_path = shield_env::join_path(&self.path, &current_file_name());
+        let name = shield_env::read_file_to_vec(self.env.as_ref(), &current_path, FileKind::Manifest)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| Error::Corruption("CURRENT not utf-8".into()))?;
+        let name = name.trim().to_string();
+        let manifest_path = shield_env::join_path(&self.path, &name);
+        let file = match &self.encryption {
+            Some(cfg) => cfg.open_sequential(self.env.as_ref(), &manifest_path, FileKind::Manifest)?,
+            None => self.env.new_sequential_file(&manifest_path, FileKind::Manifest)?,
+        };
+        let mut reader = LogReader::new(file);
+        let mut builder = Builder::new(Version::new());
+        let mut next_file = self.next_file_number;
+        let mut last_seq = self.last_sequence;
+        let mut log_number = self.log_number;
+        while let Some(record) = reader.read_record()? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(v) = edit.next_file_number {
+                next_file = next_file.max(v);
+            }
+            if let Some(v) = edit.last_sequence {
+                last_seq = last_seq.max(v);
+            }
+            if let Some(v) = edit.log_number {
+                log_number = log_number.max(v);
+            }
+            builder.apply(&edit);
+        }
+        self.current = Arc::new(builder.finish());
+        self.next_file_number = next_file;
+        self.last_sequence = last_seq;
+        self.log_number = log_number;
+        // Keep allocation above every file we have seen.
+        let max_seen = self.current.live_files().into_iter().max().unwrap_or(0);
+        self.next_file_number = self.next_file_number.max(max_seen + 1);
+        // Roll to a fresh manifest and retire the old one.
+        let old_manifest = manifest_path;
+        self.roll_manifest()?;
+        if let Some(cfg) = &self.encryption {
+            cfg.note_file_deleted(self.env.as_ref(), &old_manifest, FileKind::Manifest)?;
+        }
+        let _ = self.env.remove_file(&old_manifest);
+        Ok(())
+    }
+
+    /// Loads version state **without mutating anything on disk** — no
+    /// manifest roll, no CURRENT rewrite. This is what read-only instances
+    /// (paper §2.2's on-demand readers over shared DS files) use: they may
+    /// not write to the shared directory. Returns the reconstructed
+    /// version plus `(last_sequence, log_number)`.
+    pub fn load_read_only(
+        env: &dyn Env,
+        path: &str,
+        encryption: Option<&EncryptionConfig>,
+    ) -> Result<(Version, u64, u64)> {
+        let current_path = shield_env::join_path(path, &current_file_name());
+        let name = shield_env::read_file_to_vec(env, &current_path, FileKind::Manifest)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| Error::Corruption("CURRENT not utf-8".into()))?;
+        let manifest_path = shield_env::join_path(path, name.trim());
+        let file = match encryption {
+            Some(cfg) => cfg.open_sequential(env, &manifest_path, FileKind::Manifest)?,
+            None => env.new_sequential_file(&manifest_path, FileKind::Manifest)?,
+        };
+        let mut reader = LogReader::new(file);
+        let mut builder = Builder::new(Version::new());
+        let mut last_seq = 0u64;
+        let mut log_number = 0u64;
+        while let Some(record) = reader.read_record()? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(v) = edit.last_sequence {
+                last_seq = last_seq.max(v);
+            }
+            if let Some(v) = edit.log_number {
+                log_number = log_number.max(v);
+            }
+            builder.apply(&edit);
+        }
+        Ok((builder.finish(), last_seq, log_number))
+    }
+
+    /// Starts a new manifest containing a full snapshot of current state,
+    /// then repoints CURRENT at it.
+    fn roll_manifest(&mut self) -> Result<()> {
+        let number = self.new_file_number();
+        let name = manifest_file_name(number);
+        let manifest_path = shield_env::join_path(&self.path, &name);
+        let file = match &self.encryption {
+            Some(cfg) => {
+                let (f, _) = cfg.new_writable(self.env.as_ref(), &manifest_path, FileKind::Manifest)?;
+                f
+            }
+            None => self.env.new_writable_file(&manifest_path, FileKind::Manifest)?,
+        };
+        let mut writer = LogWriter::new(file);
+        // Snapshot edit.
+        let mut snapshot = VersionEdit {
+            log_number: Some(self.log_number),
+            next_file_number: Some(self.next_file_number),
+            last_sequence: Some(self.last_sequence),
+            ..VersionEdit::default()
+        };
+        for (level, files) in self.current.files.iter().enumerate() {
+            for f in files {
+                snapshot.new_files.push((level as u32, (**f).clone()));
+            }
+        }
+        writer.add_record(&snapshot.encode())?;
+        writer.sync()?;
+        self.manifest = Some(writer);
+        self.manifest_number = number;
+        shield_env::write_file_atomic(
+            self.env.as_ref(),
+            &shield_env::join_path(&self.path, &current_file_name()),
+            FileKind::Manifest,
+            name.as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Appends `edit` to the manifest and installs the resulting version.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<Arc<Version>> {
+        match edit.log_number {
+            None => edit.log_number = Some(self.log_number),
+            Some(n) => self.log_number = n,
+        }
+        edit.next_file_number = Some(self.next_file_number);
+        edit.last_sequence = Some(self.last_sequence);
+        let writer = self.manifest.as_mut().ok_or(Error::Shutdown)?;
+        writer.add_record(&edit.encode())?;
+        writer.sync()?;
+        let mut builder = Builder::new((*self.current).clone());
+        builder.apply(&edit);
+        let next = Arc::new(builder.finish());
+        self.current = next.clone();
+        Ok(next)
+    }
+}
+
+/// Applies edits to a base version, maintaining level ordering invariants.
+struct Builder {
+    files: Vec<Vec<Arc<FileMeta>>>,
+}
+
+impl Builder {
+    fn new(base: Version) -> Self {
+        let mut files = base.files;
+        files.resize(NUM_LEVELS, Vec::new());
+        Builder { files }
+    }
+
+    fn apply(&mut self, edit: &VersionEdit) {
+        for (level, number) in &edit.deleted_files {
+            let level = *level as usize;
+            if level < self.files.len() {
+                self.files[level].retain(|f| f.number != *number);
+            }
+        }
+        for (level, meta) in &edit.new_files {
+            let level = *level as usize;
+            if level < self.files.len() {
+                self.files[level].push(Arc::new(meta.clone()));
+            }
+        }
+    }
+
+    fn finish(mut self) -> Version {
+        // L0: newest (highest number) first. L1+: by smallest key.
+        self.files[0].sort_by_key(|f| std::cmp::Reverse(f.number));
+        for level in self.files.iter_mut().skip(1) {
+            level.sort_by(|a, b| a.smallest.cmp(&b.smallest));
+        }
+        Version { files: self.files }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, ValueType};
+    use shield_env::MemEnv;
+
+    fn meta(number: u64, lo: &str, hi: &str) -> FileMeta {
+        FileMeta {
+            number,
+            file_size: 100,
+            smallest: make_internal_key(lo.as_bytes(), 1, ValueType::Value),
+            largest: make_internal_key(hi.as_bytes(), 1, ValueType::Value),
+            dek_id: None,
+        }
+    }
+
+    fn new_set(env: &MemEnv) -> VersionSet {
+        let tc = TableCache::new(Arc::new(env.clone()), "db".into(), None, None, 8);
+        VersionSet::new(Arc::new(env.clone()), "db".into(), None, tc)
+    }
+
+    #[test]
+    fn create_and_apply_edits() {
+        let env = MemEnv::new();
+        let mut vs = new_set(&env);
+        vs.create_new().unwrap();
+        assert!(VersionSet::db_exists(&env, "db"));
+        let edit = VersionEdit {
+            new_files: vec![(0, meta(10, "a", "m")), (0, meta(11, "n", "z"))],
+            ..VersionEdit::default()
+        };
+        let v = vs.log_and_apply(edit).unwrap();
+        assert_eq!(v.level_files(0), 2);
+        // L0 newest first.
+        assert_eq!(v.files[0][0].number, 11);
+    }
+
+    #[test]
+    fn recover_replays_manifest() {
+        let env = MemEnv::new();
+        {
+            let mut vs = new_set(&env);
+            vs.create_new().unwrap();
+            vs.set_last_sequence(500);
+            vs.log_and_apply(VersionEdit {
+                new_files: vec![(1, meta(10, "a", "m"))],
+                log_number: Some(7),
+                ..VersionEdit::default()
+            })
+            .unwrap();
+            vs.log_and_apply(VersionEdit {
+                new_files: vec![(1, meta(11, "n", "z"))],
+                deleted_files: vec![(1, 10)],
+                ..VersionEdit::default()
+            })
+            .unwrap();
+        }
+        let mut vs = new_set(&env);
+        vs.recover().unwrap();
+        let v = vs.current();
+        assert_eq!(v.level_files(1), 1);
+        assert_eq!(v.files[1][0].number, 11);
+        assert_eq!(vs.last_sequence(), 500);
+        assert_eq!(vs.log_number(), 7);
+        // File numbers keep increasing after recovery.
+        assert!(vs.new_file_number() > 11);
+    }
+
+    #[test]
+    fn recover_rolls_manifest() {
+        let env = MemEnv::new();
+        let first_manifest;
+        {
+            let mut vs = new_set(&env);
+            vs.create_new().unwrap();
+            first_manifest = manifest_file_name(vs.manifest_number());
+        }
+        {
+            let mut vs = new_set(&env);
+            vs.recover().unwrap();
+            let second = manifest_file_name(vs.manifest_number());
+            assert_ne!(first_manifest, second);
+            // Old manifest removed.
+            assert!(!env.file_exists(&shield_env::join_path("db", &first_manifest)));
+        }
+    }
+
+    #[test]
+    fn levels_stay_sorted() {
+        let env = MemEnv::new();
+        let mut vs = new_set(&env);
+        vs.create_new().unwrap();
+        let v = vs
+            .log_and_apply(VersionEdit {
+                new_files: vec![(2, meta(20, "x", "z")), (2, meta(21, "a", "c"))],
+                ..VersionEdit::default()
+            })
+            .unwrap();
+        assert_eq!(v.files[2][0].number, 21); // "a" range sorts first
+    }
+
+    #[test]
+    fn encrypted_manifest_roundtrip() {
+        use shield_crypto::Algorithm;
+        use shield_kds::{DekResolver, KdsConfig, LocalKds, ServerId};
+
+        let env = MemEnv::new();
+        let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+        let resolver =
+            Arc::new(DekResolver::new(kds, None, ServerId(1), Algorithm::Aes128Ctr));
+        let cfg = EncryptionConfig::new(resolver);
+        let tc = TableCache::new(Arc::new(env.clone()), "db".into(), Some(cfg.clone()), None, 8);
+        {
+            let mut vs =
+                VersionSet::new(Arc::new(env.clone()), "db".into(), Some(cfg.clone()), tc.clone());
+            vs.create_new().unwrap();
+            vs.log_and_apply(VersionEdit {
+                new_files: vec![(1, meta(10, "secretkey-a", "secretkey-z"))],
+                ..VersionEdit::default()
+            })
+            .unwrap();
+            // Manifest on disk must not leak key-range plaintext.
+            let name = manifest_file_name(vs.manifest_number());
+            let raw = env.raw_content(&shield_env::join_path("db", &name)).unwrap();
+            assert!(!raw.windows(9).any(|w| w == b"secretkey"));
+        }
+        let mut vs = VersionSet::new(Arc::new(env.clone()), "db".into(), Some(cfg), tc);
+        vs.recover().unwrap();
+        assert_eq!(vs.current().level_files(1), 1);
+    }
+}

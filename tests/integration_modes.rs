@@ -1,0 +1,227 @@
+//! Cross-crate integration: the same workload must behave identically in
+//! all three encryption modes (plain / EncFS / SHIELD) across flushes,
+//! compactions, restarts — and leave no plaintext behind in the encrypted
+//! modes.
+
+use std::sync::Arc;
+
+use shield::{open_encfs, open_plain, open_shield, ShieldOptions};
+use shield_crypto::{Algorithm, Dek};
+use shield_env::{Env, MemEnv};
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::{Db, Options, ReadOptions, WriteBatch, WriteOptions};
+
+const MARKER: &[u8] = b"PLAINTEXT-CANARY-VALUE";
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Mode {
+    Plain,
+    EncFs,
+    Shield,
+}
+
+const MODES: [Mode; 3] = [Mode::Plain, Mode::EncFs, Mode::Shield];
+
+struct TestDb {
+    env: MemEnv,
+    kds: Arc<LocalKds>,
+    dek: Dek,
+    mode: Mode,
+}
+
+impl TestDb {
+    fn new(mode: Mode) -> Self {
+        TestDb {
+            env: MemEnv::new(),
+            kds: Arc::new(LocalKds::new(KdsConfig::default())),
+            dek: Dek::generate(Algorithm::Aes128Ctr),
+            mode,
+        }
+    }
+
+    fn opts(&self) -> Options {
+        let mut o = Options::new(Arc::new(self.env.clone())).with_write_buffer_size(16 << 10);
+        o.compaction.l0_compaction_trigger = 2;
+        o.compaction.target_file_size = 64 << 10;
+        o
+    }
+
+    /// Opens (or reopens) the database; returns a uniform handle.
+    fn open(&self) -> Box<dyn std::ops::Deref<Target = Db>> {
+        match self.mode {
+            Mode::Plain => {
+                let db = open_plain(self.opts(), "db").expect("open plain");
+                Box::new(DbBox(db))
+            }
+            Mode::EncFs => {
+                Box::new(open_encfs(self.opts(), "db", self.dek.clone(), 512).expect("open encfs"))
+            }
+            Mode::Shield => Box::new(
+                open_shield(
+                    self.opts(),
+                    "db",
+                    ShieldOptions::new(self.kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk"),
+                )
+                .expect("open shield"),
+            ),
+        }
+    }
+
+    /// All raw database bytes currently on "disk".
+    fn raw_bytes(&self) -> Vec<u8> {
+        let mut all = Vec::new();
+        for name in self.env.list_dir("db").expect("list") {
+            all.extend(self.env.raw_content(&format!("db/{name}")).expect("raw"));
+        }
+        all
+    }
+}
+
+struct DbBox(Db);
+
+impl std::ops::Deref for DbBox {
+    type Target = Db;
+    fn deref(&self) -> &Db {
+        &self.0
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[test]
+fn full_lifecycle_identical_across_modes() {
+    let w = WriteOptions::default();
+    let r = ReadOptions::new();
+    for mode in MODES {
+        let t = TestDb::new(mode);
+        {
+            let db = t.open();
+            // Enough data to force flushes and compactions.
+            for i in 0..3000u32 {
+                let mut v = MARKER.to_vec();
+                v.extend_from_slice(format!("-{i}").as_bytes());
+                db.put(&w, format!("key{:05}", i % 1000).as_bytes(), &v).unwrap();
+            }
+            db.delete(&w, b"key00007").unwrap();
+            db.compact_all().unwrap();
+
+            // Reads across levels.
+            assert!(db.get(&r, b"key00500").unwrap().is_some(), "{mode:?}");
+            assert_eq!(db.get(&r, b"key00007").unwrap(), None, "{mode:?}");
+            // Scans see live keys in order.
+            let page = db.scan(&r, b"key00005", 4).unwrap();
+            let keys: Vec<_> =
+                page.iter().map(|(k, _)| String::from_utf8_lossy(k).to_string()).collect();
+            assert_eq!(keys, ["key00005", "key00006", "key00008", "key00009"], "{mode:?}");
+            assert!(db.statistics().snapshot().compactions >= 1, "{mode:?}");
+        }
+        // Restart: everything still there.
+        let db = t.open();
+        assert!(db.get(&r, b"key00999").unwrap().is_some(), "{mode:?} after restart");
+        assert_eq!(db.get(&r, b"key00007").unwrap(), None, "{mode:?} after restart");
+
+        // Confidentiality: encrypted modes leave no canary on disk.
+        let raw = t.raw_bytes();
+        let leaked = contains(&raw, MARKER);
+        match mode {
+            Mode::Plain => assert!(leaked, "plain mode should store plaintext"),
+            Mode::EncFs | Mode::Shield => {
+                assert!(!leaked, "{mode:?} leaked plaintext to disk");
+            }
+        }
+    }
+}
+
+#[test]
+fn batches_and_snapshots_across_modes() {
+    let w = WriteOptions::default();
+    for mode in MODES {
+        let t = TestDb::new(mode);
+        let db = t.open();
+        let mut batch = WriteBatch::new();
+        batch.put(b"a", b"1");
+        batch.put(b"b", b"2");
+        batch.delete(b"a");
+        db.write(&w, batch).unwrap();
+        let snap = db.snapshot();
+        db.put(&w, b"b", b"overwritten").unwrap();
+        assert_eq!(db.get(&snap.read_options(), b"b").unwrap(), Some(b"2".to_vec()), "{mode:?}");
+        assert_eq!(
+            db.get(&ReadOptions::new(), b"b").unwrap(),
+            Some(b"overwritten".to_vec()),
+            "{mode:?}"
+        );
+        assert_eq!(db.get(&ReadOptions::new(), b"a").unwrap(), None, "{mode:?}");
+    }
+}
+
+#[test]
+fn iterators_merge_all_sources_in_every_mode() {
+    let w = WriteOptions::default();
+    for mode in MODES {
+        let t = TestDb::new(mode);
+        let db = t.open();
+        // SST layer.
+        for i in 0..500u32 {
+            db.put(&w, format!("s{i:04}").as_bytes(), b"sst").unwrap();
+        }
+        db.flush().unwrap();
+        // Memtable layer, including overwrites.
+        for i in (0..500u32).step_by(2) {
+            db.put(&w, format!("s{i:04}").as_bytes(), b"mem").unwrap();
+        }
+        let mut it = db.iter(&ReadOptions::new()).unwrap();
+        it.seek_to_first();
+        let mut n = 0;
+        while it.valid() {
+            let expected: &[u8] = if n % 2 == 0 { b"mem" } else { b"sst" };
+            assert_eq!(it.value(), expected, "{mode:?} key {n}");
+            n += 1;
+            it.next();
+        }
+        assert_eq!(n, 500, "{mode:?}");
+    }
+}
+
+#[test]
+fn shield_restart_uses_cache_not_kds() {
+    let t = TestDb::new(Mode::Shield);
+    {
+        let db = t.open();
+        for i in 0..2000u32 {
+            db.put(&WriteOptions::default(), format!("{i:06}").as_bytes(), b"v").unwrap();
+        }
+        db.compact_all().unwrap();
+    }
+    let fetches_before = t.kds.stats().fetched;
+    let db = t.open();
+    assert!(db.get(&ReadOptions::new(), b"001234").unwrap().is_some());
+    assert_eq!(
+        t.kds.stats().fetched,
+        fetches_before,
+        "restart resolutions must come from the secure cache"
+    );
+}
+
+#[test]
+fn shield_dek_count_tracks_live_files() {
+    let t = TestDb::new(Mode::Shield);
+    let db = t.open();
+    for i in 0..3000u32 {
+        db.put(&WriteOptions::default(), format!("{:06}", i % 500).as_bytes(), &[b'x'; 100])
+            .unwrap();
+    }
+    db.compact_all().unwrap();
+    // Live DEKs = live files (SSTs + active WAL + manifest). Compaction
+    // must have revoked the rotated-away keys.
+    let live_files = t.env.list_dir("db").unwrap().len();
+    let live_deks = t.kds.live_dek_count();
+    assert!(
+        live_deks <= live_files,
+        "live DEKs ({live_deks}) must not exceed live files ({live_files})"
+    );
+    let stats = t.kds.stats();
+    assert!(stats.generated as usize > live_deks, "rotation must have retired DEKs");
+}

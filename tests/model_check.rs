@@ -1,0 +1,168 @@
+//! Property-based model checking: the database must behave exactly like a
+//! `BTreeMap` under arbitrary interleavings of puts, deletes, flushes,
+//! compactions, and reopens — in plain mode and in SHIELD mode.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use shield::{open_shield, ShieldOptions};
+use shield_env::MemEnv;
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::{Db, Options, ReadOptions, WriteOptions};
+
+#[derive(Clone, Debug)]
+enum Action {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Flush,
+    CompactAll,
+    Reopen,
+    ScanCheck(u16, u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        8 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(k, v)| Action::Put(k % 512, v)),
+        3 => any::<u16>().prop_map(|k| Action::Delete(k % 512)),
+        1 => Just(Action::Flush),
+        1 => Just(Action::CompactAll),
+        1 => Just(Action::Reopen),
+        2 => (any::<u16>(), 1u8..20).prop_map(|(k, n)| Action::ScanCheck(k % 512, n)),
+    ]
+}
+
+fn key_of(id: u16) -> Vec<u8> {
+    format!("key-{id:05}").into_bytes()
+}
+
+trait Opener {
+    fn open(&self) -> Box<dyn std::ops::Deref<Target = Db>>;
+}
+
+struct PlainOpener {
+    env: MemEnv,
+}
+
+struct HandleBox(Db);
+impl std::ops::Deref for HandleBox {
+    type Target = Db;
+    fn deref(&self) -> &Db {
+        &self.0
+    }
+}
+
+impl Opener for PlainOpener {
+    fn open(&self) -> Box<dyn std::ops::Deref<Target = Db>> {
+        let mut opts =
+            Options::new(Arc::new(self.env.clone())).with_write_buffer_size(8 << 10);
+        opts.compaction.l0_compaction_trigger = 2;
+        opts.compaction.target_file_size = 32 << 10;
+        Box::new(HandleBox(Db::open(opts, "db").expect("open")))
+    }
+}
+
+struct ShieldOpener {
+    env: MemEnv,
+    kds: Arc<LocalKds>,
+}
+
+impl Opener for ShieldOpener {
+    fn open(&self) -> Box<dyn std::ops::Deref<Target = Db>> {
+        let mut opts =
+            Options::new(Arc::new(self.env.clone())).with_write_buffer_size(8 << 10);
+        opts.compaction.l0_compaction_trigger = 2;
+        opts.compaction.target_file_size = 32 << 10;
+        Box::new(
+            open_shield(
+                opts,
+                "db",
+                ShieldOptions::new(self.kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk"),
+            )
+            .expect("open shield"),
+        )
+    }
+}
+
+fn run_model(opener: &dyn Opener, actions: &[Action]) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut db = opener.open();
+    let w = WriteOptions::default();
+    let r = ReadOptions::new();
+    for action in actions {
+        match action {
+            Action::Put(k, v) => {
+                let key = key_of(*k);
+                db.put(&w, &key, v).expect("put");
+                model.insert(key, v.clone());
+            }
+            Action::Delete(k) => {
+                let key = key_of(*k);
+                db.delete(&w, &key).expect("delete");
+                model.remove(&key);
+            }
+            Action::Flush => db.flush().expect("flush"),
+            Action::CompactAll => db.compact_all().expect("compact"),
+            Action::Reopen => {
+                // Clean reopen: drop (flushes WAL), then open again.
+                drop(db);
+                db = opener.open();
+            }
+            Action::ScanCheck(k, n) => {
+                let start = key_of(*k);
+                let got = db.scan(&r, &start, *n as usize).expect("scan");
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(start.clone()..)
+                    .take(*n as usize)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                prop_assert_eq_impl(&got, &want);
+            }
+        }
+    }
+    // Final full equivalence check.
+    for (key, value) in &model {
+        let got = db.get(&r, key).expect("get");
+        assert_eq!(got.as_ref(), Some(value), "mismatch for {}", String::from_utf8_lossy(key));
+    }
+    // Absent keys stay absent.
+    for k in [0u16, 100, 511] {
+        let key = key_of(k);
+        if !model.contains_key(&key) {
+            assert_eq!(db.get(&r, &key).expect("get"), None);
+        }
+    }
+    // Full scan equals the model.
+    let all = db.scan(&r, b"", usize::MAX >> 1).expect("scan all");
+    assert_eq!(all.len(), model.len(), "live key count mismatch");
+    for ((gk, gv), (mk, mv)) in all.iter().zip(model.iter()) {
+        assert_eq!((gk, gv), (mk, mv));
+    }
+}
+
+fn prop_assert_eq_impl(got: &[(Vec<u8>, Vec<u8>)], want: &[(Vec<u8>, Vec<u8>)]) {
+    assert_eq!(got.len(), want.len(), "scan length mismatch");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!(g, w, "scan row mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plain_db_matches_btreemap(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let opener = PlainOpener { env: MemEnv::new() };
+        run_model(&opener, &actions);
+    }
+
+    #[test]
+    fn shield_db_matches_btreemap(actions in proptest::collection::vec(action_strategy(), 1..120)) {
+        let opener = ShieldOpener {
+            env: MemEnv::new(),
+            kds: Arc::new(LocalKds::new(KdsConfig::default())),
+        };
+        run_model(&opener, &actions);
+    }
+}
