@@ -20,10 +20,11 @@ pub mod deploy;
 pub mod encfs;
 
 use std::ops::Deref;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use shield_crypto::Algorithm;
-use shield_kds::{DekResolver, Kds, SecureDekCache, ServerId};
+use shield_kds::{DekResolver, Kds, RetryPolicy, SecureDekCache, ServerId};
 use shield_lsm::encryption::EncryptionConfig;
 use shield_lsm::{Db, Error, Options, Result};
 
@@ -97,6 +98,9 @@ pub struct ShieldOptions {
     /// When false, leaves the WAL plaintext (Table 2's "Encrypted SST"
     /// measurement configuration; insecure).
     pub encrypt_wal: bool,
+    /// Retry/timeout discipline for KDS round trips (see
+    /// [`shield_kds::RetryPolicy`]).
+    pub retry_policy: RetryPolicy,
 }
 
 impl ShieldOptions {
@@ -113,6 +117,7 @@ impl ShieldOptions {
             chunk_size: 4096,
             encryption_threads: 1,
             encrypt_wal: true,
+            retry_policy: RetryPolicy::default(),
         }
     }
 }
@@ -131,6 +136,21 @@ impl Deref for ShieldDb {
     type Target = Db;
     fn deref(&self) -> &Db {
         &self.db
+    }
+}
+
+impl ShieldDb {
+    /// Engine counters with the resolver gauges (`resolver_retries`,
+    /// `resolver_failovers`, `resolver_degraded_hits`) refreshed from the
+    /// DEK resolver, so one snapshot covers both layers.
+    #[must_use]
+    pub fn statistics(&self) -> Arc<Statistics> {
+        let stats = self.db.statistics();
+        let r = self.resolver.stats();
+        stats.resolver_retries.store(r.retries, Ordering::Relaxed);
+        stats.resolver_failovers.store(r.failovers, Ordering::Relaxed);
+        stats.resolver_degraded_hits.store(r.degraded_hits, Ordering::Relaxed);
+        stats
     }
 }
 
@@ -166,11 +186,12 @@ pub fn open_shield(mut base: Options, path: &str, shield: ShieldOptions) -> Resu
         }
         None => None,
     };
-    let resolver = Arc::new(DekResolver::new(
+    let resolver = Arc::new(DekResolver::with_policy(
         shield.kds.clone(),
         cache,
         shield.server,
         shield.algorithm,
+        shield.retry_policy.clone(),
     ));
     let mut encryption = EncryptionConfig::new(resolver.clone())
         .with_wal_buffer(shield.wal_buffer_size)

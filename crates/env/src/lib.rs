@@ -16,6 +16,7 @@
 //! read/write bytes per file type and per node — the data behind the
 //! paper's Table 3.
 
+pub mod fault;
 pub mod mem;
 pub mod posix;
 pub mod remote;
@@ -26,6 +27,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+pub use fault::{FaultInjectionEnv, FaultOp, FaultStats, FaultStatsSnapshot};
 pub use mem::MemEnv;
 pub use posix::PosixEnv;
 pub use remote::{NetworkModel, RemoteEnv};
@@ -179,6 +181,11 @@ pub trait Env: Send + Sync {
     fn remove_dir_all(&self, dir: &str) -> EnvResult<()>;
     /// The I/O statistics sink for this env, if any.
     fn io_stats(&self) -> Option<Arc<IoStats>> {
+        None
+    }
+    /// Fault-injection counters, if this env (or one it wraps) injects
+    /// faults. `None` for ordinary envs.
+    fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
         None
     }
 }

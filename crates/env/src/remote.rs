@@ -299,6 +299,10 @@ impl Env for RemoteEnv {
     fn io_stats(&self) -> Option<Arc<IoStats>> {
         Some(self.stats.clone())
     }
+
+    fn fault_stats(&self) -> Option<crate::FaultStatsSnapshot> {
+        self.inner.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,11 @@ const VERSION: u32 = 1;
 /// Default PBKDF2 iteration count. Kept modest because the derivation runs
 /// once per process start; production deployments would raise it.
 pub const DEFAULT_PBKDF_ITERATIONS: u32 = 2048;
+/// Upper bound accepted for the iteration count stored in a cache file.
+/// The field is read before any authentication, so without a cap a
+/// single flipped bit could demand billions of PBKDF2 rounds (or zero,
+/// which the KDF rejects) from an honest opener.
+pub const MAX_PBKDF_ITERATIONS: u32 = 1 << 20;
 
 /// Errors from the secure cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,6 +143,11 @@ impl SecureDekCache {
             return Err(CacheError::Corrupt(format!("unsupported version {version}")));
         }
         let iterations = r.u32()?;
+        if iterations == 0 || iterations > MAX_PBKDF_ITERATIONS {
+            return Err(CacheError::Corrupt(format!(
+                "implausible PBKDF2 iteration count {iterations}"
+            )));
+        }
         let salt: [u8; 16] = r.take(16)?.try_into().unwrap();
         let (enc_key, mac_key) = derive_keys(passkey, &salt, iterations);
         // Passkey verifier: HMAC over a fixed label.
@@ -147,6 +157,14 @@ impl SecureDekCache {
             return Err(CacheError::BadPasskey);
         }
         let count = r.u32()? as usize;
+        // The count is read before the entries authenticate, so bound it by
+        // what the remaining bytes could possibly encode (each entry is at
+        // least id + tag + len + nonce + MAC) before allocating: a flipped
+        // high bit must not request a multi-gigabyte table.
+        let min_entry = 16 + 1 + 2 + NONCE_LEN + 32;
+        if count > r.remaining() / min_entry {
+            return Err(CacheError::Corrupt(format!("implausible entry count {count}")));
+        }
         let mut entries = HashMap::with_capacity(count);
         for _ in 0..count {
             let id_bytes: [u8; 16] = r.take(16)?.try_into().unwrap();
@@ -296,6 +314,10 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], CacheError> {
         if self.pos + n > self.data.len() {
             return Err(CacheError::Corrupt("truncated".to_string()));
@@ -418,6 +440,113 @@ mod tests {
         a.insert(dek.clone()).unwrap();
         let b = open(&env, b"shared").unwrap();
         assert_eq!(b.get(dek.id()).unwrap().key_bytes(), dek.key_bytes());
+    }
+
+    #[test]
+    fn single_bit_flip_sweep_never_panics_or_corrupts() {
+        // Flip every bit of the cache file, one at a time. Each mutation
+        // must yield a clean CacheError or — where the flipped byte is
+        // genuinely redundant (e.g. the entry count shrinking hides intact
+        // trailing entries) — an open whose surviving DEKs are bit-exact.
+        // A panic or a silently corrupted key is a failure either way.
+        let env = MemEnv::new();
+        let dek = Dek::generate(Algorithm::Aes128Ctr);
+        {
+            let cache = open(&env, b"pk").unwrap();
+            cache.insert(dek.clone()).unwrap();
+        }
+        let pristine = env.raw_content("dek.cache").unwrap();
+        // Offset of the PBKDF2 iteration-count field (after magic+version).
+        let iter_field = 12..16;
+        for byte in 0..pristine.len() {
+            for bit in 0..8 {
+                let mut raw = pristine.clone();
+                raw[byte] ^= 1 << bit;
+                if iter_field.contains(&byte) {
+                    let iters =
+                        u32::from_le_bytes(raw[iter_field.clone()].try_into().unwrap());
+                    // In-range-but-large counts make the opener honestly run
+                    // that many PBKDF2 rounds before BadPasskey — correct
+                    // but far too slow for a per-bit sweep. Their behavior
+                    // is asserted directly in iteration_field_is_validated.
+                    if iters > 8192 && iters <= MAX_PBKDF_ITERATIONS {
+                        continue;
+                    }
+                }
+                {
+                    let mut f = env.new_writable_file("dek.cache", FileKind::Other).unwrap();
+                    f.append(&raw).unwrap();
+                    f.sync().unwrap();
+                }
+                match open(&env, b"pk") {
+                    Err(CacheError::BadPasskey | CacheError::Corrupt(_)) => {}
+                    Err(CacheError::Env(e)) => {
+                        panic!("byte {byte} bit {bit}: unexpected env error {e}")
+                    }
+                    Ok(cache) => {
+                        if let Some(got) = cache.get(dek.id()) {
+                            assert_eq!(
+                                got.key_bytes(),
+                                dek.key_bytes(),
+                                "byte {byte} bit {bit}: silently corrupted DEK"
+                            );
+                            assert_eq!(got.algorithm(), dek.algorithm());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_field_is_validated() {
+        let env = MemEnv::new();
+        {
+            let cache = open(&env, b"pk").unwrap();
+            cache.insert(Dek::generate(Algorithm::Aes128Ctr)).unwrap();
+        }
+        let pristine = env.raw_content("dek.cache").unwrap();
+        let rewrite = |iters: u32| {
+            let mut raw = pristine.clone();
+            raw[12..16].copy_from_slice(&iters.to_le_bytes());
+            let mut f = env.new_writable_file("dek.cache", FileKind::Other).unwrap();
+            f.append(&raw).unwrap();
+            f.sync().unwrap();
+        };
+        // Zero rounds would panic inside the KDF; reject before deriving.
+        rewrite(0);
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_))));
+        // An absurd count is an unauthenticated CPU-DoS; reject likewise.
+        rewrite(MAX_PBKDF_ITERATIONS + 1);
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_))));
+        rewrite(u32::MAX);
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_))));
+        // A plausible-but-wrong count derives different keys → BadPasskey.
+        rewrite(ITERS * 2);
+        assert!(matches!(open(&env, b"pk"), Err(CacheError::BadPasskey)));
+    }
+
+    #[test]
+    fn truncation_sweep_is_always_a_clean_error() {
+        // Every possible truncation point must produce CacheError, not a
+        // panic (the torn-write outcome for a non-atomic cache update).
+        let env = MemEnv::new();
+        {
+            let cache = open(&env, b"pk").unwrap();
+            cache.insert(Dek::generate(Algorithm::Aes128Ctr)).unwrap();
+        }
+        let pristine = env.raw_content("dek.cache").unwrap();
+        for cut in 0..pristine.len() {
+            {
+                let mut f = env.new_writable_file("dek.cache", FileKind::Other).unwrap();
+                f.append(&pristine[..cut]).unwrap();
+                f.sync().unwrap();
+            }
+            assert!(
+                matches!(open(&env, b"pk"), Err(CacheError::Corrupt(_) | CacheError::BadPasskey)),
+                "truncation at {cut} bytes not reported"
+            );
+        }
     }
 
     #[test]

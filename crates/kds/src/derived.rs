@@ -126,6 +126,7 @@ impl Kds for DerivedKds {
             generated: self.generated.load(Ordering::Relaxed),
             fetched: self.fetched.load(Ordering::Relaxed),
             denied: self.denied.load(Ordering::Relaxed),
+            failovers: 0,
         }
     }
 }

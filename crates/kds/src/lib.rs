@@ -34,7 +34,7 @@ pub use cache::{CacheError, SecureDekCache};
 pub use derived::DerivedKds;
 pub use local::{KdsConfig, LocalKds, ProvisioningPolicy};
 pub use replicated::ReplicatedKds;
-pub use resolver::{DekResolver, ResolverStats};
+pub use resolver::{DekResolver, ResolverError, ResolverStats, RetryPolicy};
 
 use shield_crypto::{Algorithm, Dek, DekId};
 
@@ -77,6 +77,19 @@ impl fmt::Display for KdsError {
 
 impl std::error::Error for KdsError {}
 
+impl KdsError {
+    /// Whether retrying the same request could succeed.
+    ///
+    /// Only [`KdsError::Unavailable`] is transient (a replica outage or a
+    /// timed-out round trip); authorization and provisioning denials are
+    /// policy decisions that retrying cannot change, and an unknown DEK-ID
+    /// stays unknown.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, KdsError::Unavailable(_))
+    }
+}
+
 /// Result alias for KDS operations.
 pub type KdsResult<T> = Result<T, KdsError>;
 
@@ -89,6 +102,9 @@ pub struct KdsStats {
     pub fetched: u64,
     /// Requests denied (authorization or provisioning policy).
     pub denied: u64,
+    /// Failover events (requests re-routed past a down replica). Always
+    /// zero for single-node implementations.
+    pub failovers: u64,
 }
 
 /// The Key Distribution Service contract (paper §5.2):

@@ -222,6 +222,7 @@ impl Kds for LocalKds {
             generated: self.generated.load(Ordering::Relaxed),
             fetched: self.fetched.load(Ordering::Relaxed),
             denied: self.denied.load(Ordering::Relaxed),
+            failovers: 0,
         }
     }
 }

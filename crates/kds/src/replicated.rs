@@ -51,13 +51,33 @@ impl ReplicatedKds {
     }
 
     /// Marks replica `index` as down (requests to it fail over).
+    /// An out-of-range index is ignored: fault-injection scripts may target
+    /// a larger ensemble than actually deployed.
     pub fn fail_replica(&self, index: usize) {
-        self.endpoints[index].available.store(false, Ordering::SeqCst);
+        if let Some(replica) = self.endpoints.get(index) {
+            replica.available.store(false, Ordering::SeqCst);
+        }
     }
 
-    /// Brings replica `index` back up.
+    /// Brings replica `index` back up. Out-of-range indexes are ignored.
     pub fn recover_replica(&self, index: usize) {
-        self.endpoints[index].available.store(true, Ordering::SeqCst);
+        if let Some(replica) = self.endpoints.get(index) {
+            replica.available.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks every replica as down: a total KDS outage.
+    pub fn fail_all(&self) {
+        for replica in &self.endpoints {
+            replica.available.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Brings every replica back up.
+    pub fn recover_all(&self) {
+        for replica in &self.endpoints {
+            replica.available.store(true, Ordering::SeqCst);
+        }
     }
 
     /// Number of failover events observed so far.
@@ -123,7 +143,10 @@ impl Kds for ReplicatedKds {
     }
 
     fn stats(&self) -> KdsStats {
-        self.primary.stats()
+        KdsStats {
+            failovers: self.failover_count(),
+            ..self.primary.stats()
+        }
     }
 }
 
@@ -172,5 +195,45 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replicas_rejected() {
         let _ = ReplicatedKds::new(0, KdsConfig::default());
+    }
+
+    #[test]
+    fn out_of_range_fail_and_recover_are_noops() {
+        let kds = ReplicatedKds::new(2, KdsConfig::default());
+        // Indexes past the ensemble must not panic and must not change state.
+        kds.fail_replica(7);
+        kds.recover_replica(100);
+        assert_eq!(kds.available_count(), 2);
+        assert!(kds.generate_dek(S, Algorithm::Aes128Ctr).is_ok());
+    }
+
+    #[test]
+    fn total_outage_is_unavailable_for_every_operation() {
+        let kds = ReplicatedKds::new(3, KdsConfig::default());
+        let dek = kds.generate_dek(S, Algorithm::Aes128Ctr).unwrap();
+        kds.fail_all();
+        assert_eq!(kds.available_count(), 0);
+        assert!(matches!(
+            kds.generate_dek(S, Algorithm::Aes128Ctr),
+            Err(KdsError::Unavailable(_))
+        ));
+        assert!(matches!(kds.fetch_dek(S, dek.id()), Err(KdsError::Unavailable(_))));
+        assert!(matches!(kds.revoke_dek(dek.id()), Err(KdsError::Unavailable(_))));
+        // Outage errors are the retryable kind.
+        assert!(kds.fetch_dek(S, dek.id()).unwrap_err().is_retryable());
+        kds.recover_all();
+        assert_eq!(kds.available_count(), 3);
+        assert!(kds.fetch_dek(S, dek.id()).is_ok());
+    }
+
+    #[test]
+    fn failovers_surface_in_stats() {
+        let kds = ReplicatedKds::new(2, KdsConfig::default());
+        kds.fail_replica(0);
+        for _ in 0..10 {
+            let _ = kds.generate_dek(S, Algorithm::Aes128Ctr).unwrap();
+        }
+        assert_eq!(kds.stats().failovers, kds.failover_count());
+        assert!(kds.stats().failovers >= 3);
     }
 }

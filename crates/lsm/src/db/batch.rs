@@ -53,7 +53,7 @@ impl WriteBatch {
         if self.rep.len() < HEADER {
             return 0;
         }
-        u32::from_le_bytes(self.rep[8..12].try_into().unwrap())
+        u32::from_le_bytes(crate::varint::fixed(&self.rep[8..12]))
     }
 
     /// True if nothing is queued.
@@ -80,7 +80,7 @@ impl WriteBatch {
         if self.rep.len() < HEADER {
             return 0;
         }
-        u64::from_le_bytes(self.rep[..8].try_into().unwrap())
+        u64::from_le_bytes(crate::varint::fixed(&self.rep[..8]))
     }
 
     /// The raw WAL payload.

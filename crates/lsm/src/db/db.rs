@@ -22,7 +22,7 @@ use crate::compaction::{
 };
 use crate::db::batch::WriteBatch;
 use crate::db::options::{Options, ReadOptions, WriteOptions};
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, Severity};
 use crate::iter::{InternalIterator, MergingIterator};
 use crate::memtable::{LookupResult, MemTable};
 use crate::sst::builder::{TableBuilder, TableBuilderOptions};
@@ -378,10 +378,52 @@ impl Db {
         self.wait_for_background_work()
     }
 
-    /// Engine counters.
+    /// Engine counters. Gauge-style mirrors (fault-injection counts from
+    /// the env) are refreshed on each call.
     #[must_use]
     pub fn statistics(&self) -> Arc<Statistics> {
+        if let Some(faults) = self.inner.env.fault_stats() {
+            self.inner
+                .stats
+                .env_faults_injected
+                .store(faults.injected_total(), Ordering::Relaxed);
+        }
         self.inner.stats.clone()
+    }
+
+    /// Clears a recoverable background error and re-drives the pending
+    /// work, blocking until the backlog drains (mirrors RocksDB's
+    /// `DB::Resume`).
+    ///
+    /// * No background error: returns `Ok(())` immediately.
+    /// * Soft/hard error: the error is cleared, flush/compaction are
+    ///   rescheduled, and the call returns the result of that re-run —
+    ///   `Ok(())` if the cause (e.g. an injected fault, a KDS outage) has
+    ///   been fixed, or the fresh error if it has not.
+    /// * Unrecoverable error (corruption): nothing is cleared and the
+    ///   error is returned.
+    /// The sticky background error, if any. While set, writes are refused
+    /// but reads keep serving; [`Db::resume`] clears recoverable errors.
+    #[must_use]
+    pub fn background_error(&self) -> Option<Error> {
+        self.inner.state.lock().bg_error.clone()
+    }
+
+    pub fn resume(&self) -> Result<()> {
+        {
+            let mut state = self.inner.state.lock();
+            let Some(e) = state.bg_error.clone() else {
+                return Ok(());
+            };
+            if e.severity() == Severity::Unrecoverable {
+                return Err(e);
+            }
+            state.bg_error = None;
+            self.inner.stats.resumes.fetch_add(1, Ordering::Relaxed);
+            self.inner.maybe_schedule(&mut state);
+        }
+        self.inner.work_cv.notify_all();
+        self.wait_for_background_work()
     }
 
     /// Walks every live SST file, re-reading and checksum-verifying every
@@ -706,6 +748,29 @@ impl DbInner {
         })
     }
 
+    /// Runs `f`, retrying soft (transient) failures with capped
+    /// exponential backoff up to `max_background_retries` times. Hard and
+    /// unrecoverable errors are returned immediately.
+    fn with_bg_retries<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.retryable() && attempt < self.opts.max_background_retries => {
+                    self.stats.bg_retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self
+                        .opts
+                        .background_retry_backoff
+                        .saturating_mul(1u32 << attempt.min(16))
+                        .min(self.opts.background_retry_max_backoff);
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     fn background_flush(&self) {
         loop {
             let (mem, number) = {
@@ -722,7 +787,10 @@ impl DbInner {
             let result = if mem.is_empty() {
                 Ok(None)
             } else {
-                self.write_level0_table(&mem, number).map(Some)
+                // A fresh writable open truncates any partial output from
+                // the failed attempt, so retrying with the same file
+                // number is safe.
+                self.with_bg_retries(|| self.write_level0_table(&mem, number)).map(Some)
             };
             let mut state = self.state.lock();
             state.pending_outputs.remove(&number);
@@ -815,7 +883,10 @@ impl DbInner {
             n
         };
         let exec_start = std::time::Instant::now();
-        let result = match &self.opts.compaction_executor {
+        // Soft failures (transient storage/network faults) are retried
+        // here; each retry allocates fresh output numbers, and the env
+        // truncates on reopen, so a half-written attempt is harmless.
+        let result = self.with_bg_retries(|| match &self.opts.compaction_executor {
             Some(executor) => {
                 // Offloaded: the remote worker resolves DEKs itself from
                 // the DEK-IDs embedded in the file metadata (§5.4).
@@ -824,7 +895,7 @@ impl DbInner {
                     task: &task,
                     version: &version,
                     smallest_snapshot,
-                    table_options,
+                    table_options: table_options.clone(),
                     target_file_size: self.opts.compaction.target_file_size,
                 };
                 executor.execute(&request, &mut alloc)
@@ -837,13 +908,13 @@ impl DbInner {
                     table_cache: &self.table_cache,
                     version: &version,
                     smallest_snapshot,
-                    table_options,
+                    table_options: table_options.clone(),
                     target_file_size: self.opts.compaction.target_file_size,
                     next_file_number: &mut alloc,
                 };
                 run_compaction(&mut ctx, &task)
             }
-        };
+        });
         self.stats
             .compaction_micros
             .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);

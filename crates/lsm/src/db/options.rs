@@ -54,6 +54,14 @@ pub struct Options {
     /// Where compactions run: `None` = in-process; `Some` = offloaded
     /// (e.g. to the disaggregated storage server, paper §5.6).
     pub compaction_executor: Option<Arc<dyn crate::compaction::CompactionExecutor>>,
+    /// How many times a background job retries a *soft* (transient)
+    /// failure before parking the error in `bg_error`. 0 disables retries.
+    pub max_background_retries: u32,
+    /// Base backoff before the first background retry; doubles per
+    /// attempt, capped at [`Options::background_retry_max_backoff`].
+    pub background_retry_backoff: std::time::Duration,
+    /// Upper bound on the per-attempt background retry backoff.
+    pub background_retry_max_backoff: std::time::Duration,
     /// Shared engine counters.
     pub statistics: Arc<Statistics>,
 }
@@ -81,6 +89,9 @@ impl Options {
             disable_wal: false,
             encryption: None,
             compaction_executor: None,
+            max_background_retries: 3,
+            background_retry_backoff: std::time::Duration::from_millis(1),
+            background_retry_max_backoff: std::time::Duration::from_millis(100),
             statistics: Statistics::new(),
         }
     }

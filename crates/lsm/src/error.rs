@@ -22,6 +22,60 @@ pub enum Error {
     NotFound,
 }
 
+/// How bad an error is for the database as a whole — the taxonomy behind
+/// background-job retries and [`crate::Db::resume`] (RocksDB's
+/// soft/hard/fatal classification).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Likely transient (network blip, busy device). Background jobs
+    /// retry these automatically with backoff.
+    Soft,
+    /// Not transient, but the database state is intact: reads keep
+    /// working, and [`crate::Db::resume`] can clear it once the cause is
+    /// fixed (e.g. a KDS outage ends).
+    Hard,
+    /// Persistent data is damaged (corruption). Never retried and never
+    /// cleared by resume; requires operator intervention.
+    Unrecoverable,
+}
+
+impl Error {
+    /// Classifies this error for retry/resume policy.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            // Generic I/O failures are presumed transient: on local disks
+            // they are EINTR/ENOSPC-style conditions, on disaggregated
+            // storage they are network faults (the common case SHIELD's
+            // DS deployment must ride out).
+            Error::Io(EnvError::Io(_)) => Severity::Soft,
+            // A missing or colliding file will not fix itself, but the
+            // in-memory state is still good.
+            Error::Io(EnvError::NotFound(_)) | Error::Io(EnvError::AlreadyExists(_)) => {
+                Severity::Hard
+            }
+            // EnvError::Corruption is normally converted to
+            // Error::Corruption; classify it the same way if one slips
+            // through untranslated.
+            Error::Io(EnvError::Corruption(_)) | Error::Corruption(_) => {
+                Severity::Unrecoverable
+            }
+            // DEK resolution failures cover both KDS outages (come back on
+            // their own) and cache corruption; neither is safe to hammer
+            // with automatic retries at this layer — the resolver already
+            // retried — but resume() may clear them once the KDS is back.
+            Error::Encryption(_) => Severity::Hard,
+            Error::Shutdown | Error::InvalidArgument(_) | Error::NotFound => Severity::Hard,
+        }
+    }
+
+    /// True if background jobs should retry the operation automatically.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        self.severity() == Severity::Soft
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -71,5 +125,16 @@ mod tests {
     fn display() {
         assert_eq!(Error::Shutdown.to_string(), "database is shutting down");
         assert!(Error::Corruption("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn severity_taxonomy() {
+        assert_eq!(Error::Io(EnvError::Io("net".into())).severity(), Severity::Soft);
+        assert!(Error::Io(EnvError::Io("net".into())).retryable());
+        assert_eq!(Error::Io(EnvError::NotFound("f".into())).severity(), Severity::Hard);
+        assert_eq!(Error::Corruption("bits".into()).severity(), Severity::Unrecoverable);
+        assert_eq!(Error::Encryption("kds down".into()).severity(), Severity::Hard);
+        assert!(!Error::Corruption("bits".into()).retryable());
+        assert!(!Error::Shutdown.retryable());
     }
 }

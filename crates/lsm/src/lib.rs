@@ -41,6 +41,6 @@ pub mod wal;
 pub use db::options::{CompactionStyle, Options, ReadOptions, WriteOptions};
 pub use db::{Db, DbIterator, Snapshot, WriteBatch};
 pub use encryption::EncryptionConfig;
-pub use error::{Error, Result};
+pub use error::{Error, Result, Severity};
 pub use statistics::{Statistics, StatsSnapshot};
 pub use types::{SequenceNumber, ValueType};

@@ -117,7 +117,7 @@ impl Block {
             return Block { data, restarts_offset: 0, num_restarts: 0 };
         }
         let num_restarts =
-            u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap()) as usize;
+            u32::from_le_bytes(crate::varint::fixed(&data[data.len() - 4..])) as usize;
         let needed = 4 + num_restarts * 4;
         if needed > data.len() {
             return Block { data, restarts_offset: 0, num_restarts: 0 };
@@ -134,7 +134,7 @@ impl Block {
 
     fn restart_point(&self, i: usize) -> usize {
         let off = self.restarts_offset + 4 * i;
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap()) as usize
+        u32::from_le_bytes(crate::varint::fixed(&self.data[off..off + 4])) as usize
     }
 
     /// An iterator positioned before the first entry.

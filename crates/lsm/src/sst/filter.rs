@@ -18,7 +18,7 @@ fn hash32(data: &[u8], seed: u32) -> u32 {
     let mut h = seed ^ (data.len() as u32).wrapping_mul(M);
     let mut chunks = data.chunks_exact(4);
     for c in &mut chunks {
-        let w = u32::from_le_bytes(c.try_into().unwrap());
+        let w = u32::from_le_bytes(crate::varint::fixed(c));
         h = h.wrapping_add(w).wrapping_mul(M);
         h ^= h >> 16;
     }

@@ -37,8 +37,8 @@ impl BlockHandle {
     #[must_use]
     pub fn decode_fixed(data: &[u8; 16]) -> BlockHandle {
         BlockHandle {
-            offset: u64::from_le_bytes(data[..8].try_into().unwrap()),
-            size: u64::from_le_bytes(data[8..].try_into().unwrap()),
+            offset: u64::from_le_bytes(crate::varint::fixed(&data[..8])),
+            size: u64::from_le_bytes(crate::varint::fixed(&data[8..])),
         }
     }
 
@@ -88,14 +88,14 @@ impl Footer {
             return Err(Error::Corruption("footer truncated".into()));
         }
         let data = &data[data.len() - FOOTER_LEN..];
-        let magic = u64::from_le_bytes(data[52..60].try_into().unwrap());
+        let magic = u64::from_le_bytes(crate::varint::fixed(&data[52..60]));
         if magic != TABLE_MAGIC {
             return Err(Error::Corruption(format!("bad table magic {magic:#x}")));
         }
         Ok(Footer {
-            filter: BlockHandle::decode_fixed(data[..16].try_into().unwrap()),
-            properties: BlockHandle::decode_fixed(data[16..32].try_into().unwrap()),
-            index: BlockHandle::decode_fixed(data[32..48].try_into().unwrap()),
+            filter: BlockHandle::decode_fixed(&crate::varint::fixed(&data[..16])),
+            properties: BlockHandle::decode_fixed(&crate::varint::fixed(&data[16..32])),
+            index: BlockHandle::decode_fixed(&crate::varint::fixed(&data[32..48])),
         })
     }
 }
@@ -168,7 +168,7 @@ impl TableProperties {
                 if data.len() < 17 {
                     return Err(corrupt());
                 }
-                Some(DekId::from_bytes(data[1..17].try_into().unwrap()))
+                Some(DekId::from_bytes(crate::varint::fixed(&data[1..17])))
             }
             _ => return Err(corrupt()),
         };

@@ -149,7 +149,7 @@ fn read_verified_block(file: &dyn RandomAccessFile, handle: BlockHandle) -> Resu
     let contents = raw.slice(..handle.size as usize);
     let trailer = &raw[handle.size as usize..];
     let compression = trailer[0];
-    let stored = u32::from_le_bytes(trailer[1..5].try_into().unwrap());
+    let stored = u32::from_le_bytes([trailer[1], trailer[2], trailer[3], trailer[4]]);
     let actual = crc32c_extend(crc32c(&contents), &[compression]);
     if crc32c_unmask(stored) != actual {
         return Err(Error::Corruption(format!(

@@ -33,6 +33,16 @@ macro_rules! tickers {
                 }
             }
         }
+
+        impl StatsSnapshot {
+            /// Difference `self - earlier` per counter (saturating).
+            #[must_use]
+            pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                }
+            }
+        }
     };
 }
 
@@ -75,40 +85,21 @@ tickers! {
     write_stalls,
     /// Microseconds writers spent stalled.
     stall_micros,
-}
-
-impl StatsSnapshot {
-    /// Difference `self - earlier` per counter (saturating).
-    #[must_use]
-    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            writes: self.writes.saturating_sub(earlier.writes),
-            write_groups: self.write_groups.saturating_sub(earlier.write_groups),
-            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
-            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
-            gets: self.gets.saturating_sub(earlier.gets),
-            gets_found: self.gets_found.saturating_sub(earlier.gets_found),
-            flushes: self.flushes.saturating_sub(earlier.flushes),
-            flush_bytes: self.flush_bytes.saturating_sub(earlier.flush_bytes),
-            compactions: self.compactions.saturating_sub(earlier.compactions),
-            compaction_micros: self.compaction_micros.saturating_sub(earlier.compaction_micros),
-            compaction_bytes_read: self
-                .compaction_bytes_read
-                .saturating_sub(earlier.compaction_bytes_read),
-            compaction_bytes_written: self
-                .compaction_bytes_written
-                .saturating_sub(earlier.compaction_bytes_written),
-            sst_files_created: self.sst_files_created.saturating_sub(earlier.sst_files_created),
-            sst_files_deleted: self.sst_files_deleted.saturating_sub(earlier.sst_files_deleted),
-            block_cache_hits: self.block_cache_hits.saturating_sub(earlier.block_cache_hits),
-            block_cache_misses: self
-                .block_cache_misses
-                .saturating_sub(earlier.block_cache_misses),
-            bloom_useful: self.bloom_useful.saturating_sub(earlier.bloom_useful),
-            write_stalls: self.write_stalls.saturating_sub(earlier.write_stalls),
-            stall_micros: self.stall_micros.saturating_sub(earlier.stall_micros),
-        }
-    }
+    /// Soft background-job failures retried with backoff.
+    bg_retries,
+    /// Recoverable background errors cleared by [`crate::Db::resume`].
+    resumes,
+    /// Storage faults injected by a fault-injection env, mirrored from
+    /// [`shield_env::Env::fault_stats`] (a gauge, refreshed on snapshot).
+    env_faults_injected,
+    /// DEK-resolver retry attempts, mirrored from the resolver when
+    /// running in SHIELD mode (a gauge).
+    resolver_retries,
+    /// KDS replica failovers, mirrored from the resolver (a gauge).
+    resolver_failovers,
+    /// DEK resolutions served from cache while the KDS was unreachable,
+    /// mirrored from the resolver (a gauge).
+    resolver_degraded_hits,
 }
 
 #[cfg(test)]

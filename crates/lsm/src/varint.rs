@@ -66,6 +66,18 @@ pub fn get_length_prefixed(data: &[u8]) -> Option<(&[u8], usize)> {
     Some((&data[n..n + len], n + len))
 }
 
+/// Copies an exactly-`N`-byte slice into an array. The single audited home
+/// for slice→array conversions whose length is fixed by construction
+/// (`&data[..8]` and friends), so format code stays free of per-site
+/// `try_into().unwrap()` calls.
+#[inline]
+#[must_use]
+pub fn fixed<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

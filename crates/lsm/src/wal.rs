@@ -195,8 +195,8 @@ impl LogReader {
                 continue;
             }
             let h = &self.block[self.pos..self.pos + HEADER_SIZE];
-            let stored_crc = u32::from_le_bytes(h[..4].try_into().unwrap());
-            let len = u16::from_le_bytes(h[4..6].try_into().unwrap()) as usize;
+            let stored_crc = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+            let len = u16::from_le_bytes([h[4], h[5]]) as usize;
             let record_type = h[6];
             if record_type == 0 && len == 0 && stored_crc == 0 {
                 // Zero padding (or pre-allocated tail): skip to next block.

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo verification tiers.
+#
+#   tier 1: cargo build --release && cargo test -q     (the seed gate)
+#   tier 2: cargo test -q --test fault_injection       (torture matrix)
+#   lint  : no .unwrap() in library (non-test) code of the hardened
+#           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
+#           errors must stay errors (see DESIGN.md §4c).
+#
+# Usage: scripts/verify.sh [--quick]   (--quick skips the release build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== lint: unwrap gate (crates/lsm/src/{wal,sst,db} library code) =="
+fail=0
+for f in crates/lsm/src/wal.rs $(find crates/lsm/src/sst crates/lsm/src/db -name '*.rs' | sort); do
+    # Only scan up to the first #[cfg(test)]: tests may unwrap freely.
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)/{print FILENAME": "FNR": "$0}' "$f")
+    if [[ -n "$hits" ]]; then
+        echo "$hits"
+        fail=1
+    fi
+done
+if [[ $fail -ne 0 ]]; then
+    echo "FAIL: .unwrap() in engine library code; return an Error (or route"
+    echo "      infallible slice→array conversions through shield_lsm::varint::fixed)."
+    exit 1
+fi
+echo "ok"
+
+if [[ $quick -eq 0 ]]; then
+    echo "== tier 1a: release build =="
+    cargo build --release
+fi
+
+echo "== tier 1b: workspace tests =="
+cargo test -q
+
+echo "== tier 2: fault-injection torture matrix =="
+cargo test -q --test fault_injection
+
+echo "ALL VERIFICATION TIERS PASSED"

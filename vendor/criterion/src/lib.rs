@@ -1,0 +1,227 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Runs each benchmark in "smoke mode": a short fixed iteration count with
+//! one line of timing output per benchmark. No statistics, plots, or
+//! baselines — the point is that `cargo bench` compiles, runs quickly, and
+//! prints comparable per-iteration numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Measured throughput unit attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value (e.g. a size or label).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where an id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts into the id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a short fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup pass.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput used in reported rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0 };
+        f(&mut b);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, elapsed_ns: 0 };
+        f(&mut b, input);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        let per_iter = if b.iters == 0 { 0 } else { b.elapsed_ns / u128::from(b.iters) };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0 => {
+                let mbps = n as f64 * 1e9 / per_iter as f64 / (1 << 20) as f64;
+                format!("  {mbps:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                let eps = n as f64 * 1e9 / per_iter as f64;
+                format!("  {eps:10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{id}: {per_iter} ns/iter ({} iters){rate}",
+            self.name, b.iters
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Accepted for source compatibility; CLI args are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 3);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

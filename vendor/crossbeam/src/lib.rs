@@ -1,0 +1,183 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! an unbounded MPMC channel with disconnect-on-last-sender-drop.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Chan<T> {
+        shared: Mutex<Shared<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// (This shim never reports it: receivers only disconnect by dropping,
+    /// which the sending side does not track — sends into a receiverless
+    /// channel simply queue, as the workspace never relies on that signal.)
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of an unbounded channel (cloneable: MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            shared: Mutex::new(Shared { queue: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut shared =
+                self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            shared.queue.push_back(value);
+            drop(shared);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut shared =
+                self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            shared.senders -= 1;
+            let disconnected = shared.senders == 0;
+            drop(shared);
+            if disconnected {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut shared =
+                self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = shared.queue.pop_front() {
+                    return Ok(v);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvError);
+                }
+                shared = self
+                    .chan
+                    .ready
+                    .wait(shared)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Returns immediately with a value if one is queued.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_unblocks_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(t.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn multiple_receivers_share_work() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let a = std::thread::spawn(move || {
+                let mut n = 0;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            let b = std::thread::spawn(move || {
+                let mut n = 0;
+                while rx2.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            });
+            assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline shim for the subset of `rand` this workspace uses:
+//! `rand::rng().fill(&mut buf)` for OS-quality random bytes.
+//!
+//! Bytes come from `/dev/urandom`; if that fails (non-Unix sandbox),
+//! falls back to a SplitMix64 stream seeded from the clock and address
+//! space layout — not cryptographically strong, but never blocks.
+
+use std::fs::File;
+use std::io::Read;
+
+/// Extension trait providing `fill` on RNG handles.
+pub trait RngExt {
+    /// Fills `buf` with random bytes.
+    fn fill(&mut self, buf: &mut [u8]);
+}
+
+/// Handle to the OS random source.
+pub struct ThreadRng {
+    urandom: Option<File>,
+    fallback: u64,
+}
+
+/// Returns a handle to the OS random source.
+#[must_use]
+pub fn rng() -> ThreadRng {
+    let urandom = File::open("/dev/urandom").ok();
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e3779b97f4a7c15);
+    let aslr = (&now as *const u64) as u64;
+    ThreadRng { urandom, fallback: now ^ aslr.rotate_left(17) }
+}
+
+impl RngExt for ThreadRng {
+    fn fill(&mut self, buf: &mut [u8]) {
+        if let Some(f) = self.urandom.as_mut() {
+            if f.read_exact(buf).is_ok() {
+                return;
+            }
+            self.urandom = None;
+        }
+        for chunk in buf.chunks_mut(8) {
+            // SplitMix64 step.
+            self.fallback = self.fallback.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.fallback;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_produces_varied_bytes() {
+        let mut buf = [0u8; 64];
+        rng().fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut buf2 = [0u8; 64];
+        rng().fill(&mut buf2);
+        assert_ne!(buf, buf2);
+    }
+
+    #[test]
+    fn fallback_stream_works() {
+        let mut r = ThreadRng { urandom: None, fallback: 42 };
+        let mut buf = [0u8; 33];
+        r.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
