@@ -3,8 +3,10 @@
 //! for both supported algorithms, plus the secure-cache KDF.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shield_crypto::aes::Aes128;
+use shield_crypto::chacha20::ChaCha20;
 use shield_crypto::{
-    pbkdf2_hmac_sha256, sha256, Algorithm, CipherContext, Dek, NONCE_LEN,
+    pbkdf2_hmac_sha256, reference, sha256, Algorithm, CipherContext, Dek, NONCE_LEN,
 };
 use std::hint::black_box;
 
@@ -58,6 +60,46 @@ fn bench_bulk_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched production kernels vs the scalar reference implementations on a
+/// 4 KiB SST-block payload — the same comparison `bin/crypto.rs --smoke`
+/// gates on, here as a criterion group for interactive runs. See DESIGN.md
+/// § perf kernels for the measured trajectory.
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_vs_scalar_4k");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(4096));
+    let nonce = [7u8; NONCE_LEN];
+    for algo in [Algorithm::Aes128Ctr, Algorithm::ChaCha20] {
+        let dek = Dek::generate(algo);
+        let ctx = CipherContext::new(&dek, &nonce);
+        let mut buf = vec![0xabu8; 4096];
+        group.bench_function(BenchmarkId::new("batched", algo), |b| {
+            b.iter(|| ctx.xor_at(0, black_box(&mut buf)));
+        });
+        match algo {
+            Algorithm::Aes128Ctr => {
+                let key: [u8; 16] = dek.key_bytes().try_into().unwrap();
+                let schedule = Aes128::new(&key);
+                group.bench_function(BenchmarkId::new("scalar", algo), |b| {
+                    b.iter(|| {
+                        reference::aes_ctr_xor(&schedule, &nonce, 0, black_box(&mut buf));
+                    });
+                });
+            }
+            Algorithm::ChaCha20 => {
+                let key: [u8; 32] = dek.key_bytes().try_into().unwrap();
+                let n12: [u8; 12] = nonce[..12].try_into().unwrap();
+                let ctr = u32::from_le_bytes(nonce[12..].try_into().unwrap());
+                let cipher = ChaCha20::new_with_counter(&key, &n12, ctr);
+                group.bench_function(BenchmarkId::new("scalar", algo), |b| {
+                    b.iter(|| reference::chacha20_xor(&cipher, 0, black_box(&mut buf)));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 fn bench_hash_and_kdf(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash");
     group.sample_size(10);
@@ -79,6 +121,7 @@ criterion_group!(
     bench_cipher_init,
     bench_encrypt_with_init,
     bench_bulk_throughput,
+    bench_batched_vs_scalar,
     bench_hash_and_kdf
 );
 criterion_main!(benches);

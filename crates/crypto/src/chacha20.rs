@@ -2,18 +2,33 @@
 //!
 //! Included because the paper names ChaCha as the alternative to AES for
 //! SHIELD's pluggable encryption algorithm. The block counter is 32 bits
-//! with a 96-bit nonce, exactly as in RFC 8439.
+//! with a 96-bit nonce, exactly as in RFC 8439; an optional initial-counter
+//! base lets callers fold extra nonce material into the starting block
+//! index (see [`ChaCha20::new_with_counter`]).
+//!
+//! The XOR path is batched: keystream is produced [`BATCH_BLOCKS`] blocks
+//! (256 B) at a time with the 16-word input state built once per batch, and
+//! combined into the payload 8 bytes per operation (DESIGN.md § perf
+//! kernels). The pre-batching scalar kernel survives as
+//! [`crate::reference::chacha20_xor`] for equivalence tests and the perf
+//! harness.
+
+use crate::xor;
 
 /// Number of bytes in a ChaCha20 key.
 pub const KEY_LEN: usize = 32;
 /// Number of bytes of keystream produced per block.
 pub const BLOCK_LEN: usize = 64;
+/// Number of blocks generated per batched keystream pass.
+pub const BATCH_BLOCKS: usize = 4;
 
 /// A ChaCha20 keystream generator bound to a key and nonce.
 #[derive(Clone)]
 pub struct ChaCha20 {
     key_words: [u32; 8],
     nonce_words: [u32; 3],
+    /// Block index of stream offset 0; RFC 8439 pure-nonce usage is 0.
+    counter_base: u32,
 }
 
 #[inline]
@@ -28,10 +43,41 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
+/// Runs the 20 ChaCha rounds over `state`, adds the input state back in,
+/// and serializes the 64-byte block into `out`.
+#[inline]
+fn permute_into(state: &[u32; 16], out: &mut [u8; BLOCK_LEN]) {
+    let mut working = *state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for ((w, s), chunk) in working.iter().zip(state.iter()).zip(out.chunks_exact_mut(4)) {
+        chunk.copy_from_slice(&w.wrapping_add(*s).to_le_bytes());
+    }
+}
+
 impl ChaCha20 {
-    /// Creates a keystream generator for `key` and a 12-byte `nonce`.
+    /// Creates a keystream generator for `key` and a 12-byte `nonce`, with
+    /// stream offset 0 at block counter 0 (plain RFC 8439 usage).
     #[must_use]
     pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; 12]) -> Self {
+        Self::new_with_counter(key, nonce, 0)
+    }
+
+    /// Like [`ChaCha20::new`], but stream offset 0 maps to block counter
+    /// `counter_base`. [`crate::CipherContext`] uses this to fold the last
+    /// 4 bytes of its 16-byte per-file nonce into the starting counter, so
+    /// two files whose nonces share only a 12-byte prefix still get
+    /// distinct keystreams.
+    #[must_use]
+    pub fn new_with_counter(key: &[u8; KEY_LEN], nonce: &[u8; 12], counter_base: u32) -> Self {
         let mut key_words = [0u32; 8];
         for (i, w) in key_words.iter_mut().enumerate() {
             *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
@@ -40,11 +86,19 @@ impl ChaCha20 {
         for (i, w) in nonce_words.iter_mut().enumerate() {
             *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
         }
-        ChaCha20 { key_words, nonce_words }
+        ChaCha20 { key_words, nonce_words, counter_base }
     }
 
-    /// Produces the 64-byte keystream block for block index `counter`.
-    pub fn keystream_block(&self, counter: u32, out: &mut [u8; BLOCK_LEN]) {
+    /// Block index that stream offset 0 maps to.
+    #[must_use]
+    pub fn counter_base(&self) -> u32 {
+        self.counter_base
+    }
+
+    /// The RFC 8439 input state for block index `counter` (an *absolute*
+    /// counter value — [`ChaCha20::counter_base`] is not re-applied).
+    #[inline]
+    fn state_for(&self, counter: u32) -> [u32; 16] {
         let mut state = [0u32; 16];
         state[0] = 0x6170_7865;
         state[1] = 0x3320_646e;
@@ -53,42 +107,169 @@ impl ChaCha20 {
         state[4..12].copy_from_slice(&self.key_words);
         state[12] = counter;
         state[13..16].copy_from_slice(&self.nonce_words);
+        state
+    }
 
-        let mut working = state;
-        for _ in 0..10 {
-            quarter_round(&mut working, 0, 4, 8, 12);
-            quarter_round(&mut working, 1, 5, 9, 13);
-            quarter_round(&mut working, 2, 6, 10, 14);
-            quarter_round(&mut working, 3, 7, 11, 15);
-            quarter_round(&mut working, 0, 5, 10, 15);
-            quarter_round(&mut working, 1, 6, 11, 12);
-            quarter_round(&mut working, 2, 7, 8, 13);
-            quarter_round(&mut working, 3, 4, 9, 14);
+    /// Produces the 64-byte keystream block for block index `counter`.
+    pub fn keystream_block(&self, counter: u32, out: &mut [u8; BLOCK_LEN]) {
+        permute_into(&self.state_for(counter), out);
+    }
+
+    /// Produces [`BATCH_BLOCKS`] consecutive keystream blocks starting at
+    /// block index `counter`.
+    ///
+    /// On x86-64 this runs all four blocks through each quarter-round pass
+    /// simultaneously (vertical SIMD: lane `b` of vector `i` holds word
+    /// `i` of block `counter + b`; SSE2 is baseline on x86-64, so no
+    /// runtime detection is needed). Elsewhere, the input state is built
+    /// once and only its counter word bumps between scalar blocks.
+    pub fn keystream_blocks4(&self, counter: u32, out: &mut [u8; BLOCK_LEN * BATCH_BLOCKS]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.keystream_blocks4_simd(counter, out);
         }
-        for i in 0..16 {
-            let word = working[i].wrapping_add(state[i]);
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.keystream_blocks4_portable(counter, out);
+        }
+    }
+
+    /// Scalar 4-block batch: one state build, counter bumps in place.
+    /// The non-x86-64 implementation of [`ChaCha20::keystream_blocks4`],
+    /// and the baseline its SIMD twin is tested against.
+    #[cfg_attr(all(target_arch = "x86_64", not(test)), allow(dead_code))]
+    fn keystream_blocks4_portable(&self, counter: u32, out: &mut [u8; BLOCK_LEN * BATCH_BLOCKS]) {
+        let mut state = self.state_for(counter);
+        for chunk in out.chunks_exact_mut(BLOCK_LEN) {
+            permute_into(&state, chunk.try_into().unwrap());
+            state[12] = state[12].wrapping_add(1);
+        }
+    }
+
+    /// Vertically vectorized 4-block kernel: each `__m128i` carries one
+    /// state word across the four blocks, so every quarter-round pass
+    /// advances 256 B of keystream at once; a 4×4 word transpose at the
+    /// end restores per-block byte order.
+    #[cfg(target_arch = "x86_64")]
+    fn keystream_blocks4_simd(&self, counter: u32, out: &mut [u8; BLOCK_LEN * BATCH_BLOCKS]) {
+        use std::arch::x86_64::{
+            __m128i, _mm_add_epi32, _mm_or_si128, _mm_set1_epi32, _mm_set_epi32,
+            _mm_slli_epi32, _mm_srli_epi32, _mm_storeu_si128, _mm_unpackhi_epi32,
+            _mm_unpackhi_epi64, _mm_unpacklo_epi32, _mm_unpacklo_epi64, _mm_xor_si128,
+        };
+
+        /// 32-bit lane rotate-left by `L` (`R` must be `32 - L`).
+        #[inline(always)]
+        fn rotl<const L: i32, const R: i32>(x: __m128i) -> __m128i {
+            // SAFETY: SSE2 is unconditionally available on x86-64.
+            unsafe { _mm_or_si128(_mm_slli_epi32::<L>(x), _mm_srli_epi32::<R>(x)) }
+        }
+
+        macro_rules! qr {
+            ($v:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {{
+                $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+                $v[$d] = rotl::<16, 16>(_mm_xor_si128($v[$d], $v[$a]));
+                $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+                $v[$b] = rotl::<12, 20>(_mm_xor_si128($v[$b], $v[$c]));
+                $v[$a] = _mm_add_epi32($v[$a], $v[$b]);
+                $v[$d] = rotl::<8, 24>(_mm_xor_si128($v[$d], $v[$a]));
+                $v[$c] = _mm_add_epi32($v[$c], $v[$d]);
+                $v[$b] = rotl::<7, 25>(_mm_xor_si128($v[$b], $v[$c]));
+            }};
+        }
+
+        let state = self.state_for(counter);
+        // SAFETY: SSE2 intrinsics on x86-64; `storeu` tolerates unaligned
+        // destinations and every store stays inside `out`.
+        unsafe {
+            let mut v = [_mm_set1_epi32(0); 16];
+            for (vec, word) in v.iter_mut().zip(state.iter()) {
+                *vec = _mm_set1_epi32(*word as i32);
+            }
+            // Lane b gets block counter + b (wrapping, like the scalar path).
+            v[12] = _mm_add_epi32(v[12], _mm_set_epi32(3, 2, 1, 0));
+            let init = v;
+            for _ in 0..10 {
+                qr!(v, 0, 4, 8, 12);
+                qr!(v, 1, 5, 9, 13);
+                qr!(v, 2, 6, 10, 14);
+                qr!(v, 3, 7, 11, 15);
+                qr!(v, 0, 5, 10, 15);
+                qr!(v, 1, 6, 11, 12);
+                qr!(v, 2, 7, 8, 13);
+                qr!(v, 3, 4, 9, 14);
+            }
+            for (vec, start) in v.iter_mut().zip(init.iter()) {
+                *vec = _mm_add_epi32(*vec, *start);
+            }
+            // Transpose word-major lanes back to block-major bytes, four
+            // state words (one 16-byte row per block) at a time.
+            for g in 0..4 {
+                let t0 = _mm_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+                let t1 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+                let t2 = _mm_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+                let t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+                let rows = [
+                    _mm_unpacklo_epi64(t0, t1),
+                    _mm_unpackhi_epi64(t0, t1),
+                    _mm_unpacklo_epi64(t2, t3),
+                    _mm_unpackhi_epi64(t2, t3),
+                ];
+                for (block, row) in rows.iter().enumerate() {
+                    let dst = out[block * BLOCK_LEN + 16 * g..].as_mut_ptr();
+                    _mm_storeu_si128(dst.cast::<__m128i>(), *row);
+                }
+            }
         }
     }
 
     /// XORs keystream into `data`, where `data` begins at absolute stream
     /// byte `offset`. Random access is supported, as required for reading
     /// SST blocks at arbitrary file offsets.
+    ///
+    /// Keystream is staged [`BATCH_BLOCKS`] blocks at a time and combined
+    /// word-wide; the staging buffer is scrubbed before returning.
     pub fn xor_at(&self, offset: u64, data: &mut [u8]) {
-        let mut block = [0u8; BLOCK_LEN];
-        let mut pos = 0usize;
-        let mut abs = offset;
-        while pos < data.len() {
-            let counter = (abs / BLOCK_LEN as u64) as u32;
-            let in_block = (abs % BLOCK_LEN as u64) as usize;
-            self.keystream_block(counter, &mut block);
-            let n = (BLOCK_LEN - in_block).min(data.len() - pos);
-            for i in 0..n {
-                data[pos + i] ^= block[in_block + i];
-            }
-            pos += n;
-            abs += n as u64;
+        if data.is_empty() {
+            return;
         }
+        let mut counter =
+            self.counter_base.wrapping_add((offset / BLOCK_LEN as u64) as u32);
+        let mut pos = 0usize;
+        let mut batch = [0u8; BLOCK_LEN * BATCH_BLOCKS];
+
+        // Head: a partial first block when `offset` is mid-block.
+        let in_block = (offset % BLOCK_LEN as u64) as usize;
+        if in_block != 0 {
+            let block: &mut [u8; BLOCK_LEN] = (&mut batch[..BLOCK_LEN]).try_into().unwrap();
+            self.keystream_block(counter, block);
+            counter = counter.wrapping_add(1);
+            let n = (BLOCK_LEN - in_block).min(data.len());
+            xor::xor_in_place(&mut data[..n], &block[in_block..in_block + n]);
+            pos = n;
+        }
+
+        // Body: full 256-byte batches.
+        while data.len() - pos >= batch.len() {
+            self.keystream_blocks4(counter, &mut batch);
+            counter = counter.wrapping_add(BATCH_BLOCKS as u32);
+            xor::xor_in_place(&mut data[pos..pos + batch.len()], &batch);
+            pos += batch.len();
+        }
+
+        // Tail: remaining whole/partial blocks, one at a time.
+        while pos < data.len() {
+            let block: &mut [u8; BLOCK_LEN] = (&mut batch[..BLOCK_LEN]).try_into().unwrap();
+            self.keystream_block(counter, block);
+            counter = counter.wrapping_add(1);
+            let n = (data.len() - pos).min(BLOCK_LEN);
+            xor::xor_in_place(&mut data[pos..pos + n], &block[..n]);
+            pos += n;
+        }
+
+        // Scrub contract (see crate::xor::scrub): the whole staging buffer,
+        // on the only path that generated keystream.
+        xor::scrub(&mut batch);
     }
 }
 
@@ -153,5 +334,63 @@ mod tests {
         let mut middle = whole[100..217].to_vec();
         c.xor_at(100, &mut middle);
         assert_eq!(&middle[..], &original[100..217]);
+    }
+
+    #[test]
+    fn keystream_blocks4_matches_single_blocks() {
+        let key = [0x5au8; 32];
+        let nonce = [0xc3u8; 12];
+        let c = ChaCha20::new(&key, &nonce);
+        let mut batch = [0u8; BLOCK_LEN * BATCH_BLOCKS];
+        c.keystream_blocks4(7, &mut batch);
+        for (i, chunk) in batch.chunks_exact(BLOCK_LEN).enumerate() {
+            let mut single = [0u8; BLOCK_LEN];
+            c.keystream_block(7u32.wrapping_add(i as u32), &mut single);
+            assert_eq!(chunk, &single[..], "block {i}");
+        }
+    }
+
+    #[test]
+    fn keystream_blocks4_portable_matches_dispatch() {
+        // The SIMD and scalar 4-block kernels must agree bit-for-bit,
+        // including when the 32-bit lane counters wrap.
+        let c = ChaCha20::new_with_counter(&[0x21u8; 32], &[0x43u8; 12], 9);
+        for counter in [0u32, 7, u32::MAX - 2, u32::MAX] {
+            let mut a = [0u8; BLOCK_LEN * BATCH_BLOCKS];
+            let mut b = [0u8; BLOCK_LEN * BATCH_BLOCKS];
+            c.keystream_blocks4(counter, &mut a);
+            c.keystream_blocks4_portable(counter, &mut b);
+            assert_eq!(a, b, "counter {counter}");
+        }
+    }
+
+    #[test]
+    fn counter_base_shifts_the_stream_by_whole_blocks() {
+        // new_with_counter(k) at offset 0 must equal new() at offset 64·k:
+        // the counter base is exactly a block-granular stream shift.
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let base0 = ChaCha20::new(&key, &nonce);
+        let based = ChaCha20::new_with_counter(&key, &nonce, 3);
+        assert_eq!(based.counter_base(), 3);
+        let original: Vec<u8> = (0..200).map(|i| (i % 256) as u8).collect();
+        let mut via_base = original.clone();
+        based.xor_at(5, &mut via_base);
+        let mut via_offset = original.clone();
+        base0.xor_at(3 * BLOCK_LEN as u64 + 5, &mut via_offset);
+        assert_eq!(via_base, via_offset);
+    }
+
+    #[test]
+    fn distinct_counter_bases_distinct_streams() {
+        let key = [4u8; 32];
+        let nonce = [5u8; 12];
+        let mut a = vec![0u8; 128];
+        let mut b = vec![0u8; 128];
+        ChaCha20::new_with_counter(&key, &nonce, 0).xor_at(0, &mut a);
+        ChaCha20::new_with_counter(&key, &nonce, 1).xor_at(0, &mut b);
+        assert_ne!(a, b);
+        // But base 1 at offset 0 is base 0 at offset 64 — shifted, not new.
+        assert_eq!(&b[..64], &a[64..128]);
     }
 }

@@ -16,14 +16,17 @@
 
 use std::fmt;
 
-use crate::aes::Aes128;
+use crate::aes::{self, Aes128};
 use crate::chacha20::ChaCha20;
 use crate::dek::Dek;
+use crate::xor;
 
 /// Length of the per-file nonce stored in plaintext file headers.
 ///
 /// AES-CTR uses all 16 bytes as the initial counter block; ChaCha20 uses the
-/// first 12 bytes as its RFC 8439 nonce.
+/// first 12 bytes as its RFC 8439 nonce and folds bytes 12..16
+/// (little-endian) into the initial block counter, so the full 16 bytes
+/// contribute to the keystream for both algorithms.
 pub const NONCE_LEN: usize = 16;
 
 /// Symmetric encryption algorithms supported by the SHIELD reproduction.
@@ -75,7 +78,10 @@ impl fmt::Display for Algorithm {
 }
 
 enum Inner {
-    Aes { schedule: Box<Aes128>, base: [u8; 16] },
+    /// `base` is the initial counter block parsed to a native `u128` once
+    /// at init time; the kernel increments it directly instead of paying a
+    /// big-endian round-trip per block.
+    Aes { schedule: Box<Aes128>, base: u128 },
     ChaCha(Box<ChaCha20>),
 }
 
@@ -99,12 +105,20 @@ impl CipherContext {
         let inner = match dek.algorithm() {
             Algorithm::Aes128Ctr => {
                 let key: [u8; 16] = dek.key_bytes().try_into().expect("AES-128 key length");
-                Inner::Aes { schedule: Box::new(Aes128::new(&key)), base: *nonce }
+                Inner::Aes {
+                    schedule: Box::new(Aes128::new(&key)),
+                    base: u128::from_be_bytes(*nonce),
+                }
             }
             Algorithm::ChaCha20 => {
                 let key: [u8; 32] = dek.key_bytes().try_into().expect("ChaCha20 key length");
                 let n12: [u8; 12] = nonce[..12].try_into().unwrap();
-                Inner::ChaCha(Box::new(ChaCha20::new(&key, &n12)))
+                // Fold nonce bytes 12..16 into the initial block counter so
+                // the whole 16-byte nonce selects the stream: two files
+                // whose nonces share only a 12-byte prefix must not reuse a
+                // keystream under the same DEK.
+                let counter = u32::from_le_bytes(nonce[12..].try_into().unwrap());
+                Inner::ChaCha(Box::new(ChaCha20::new_with_counter(&key, &n12, counter)))
             }
         };
         CipherContext { inner }
@@ -115,7 +129,7 @@ impl CipherContext {
     /// ciphers this is both `encrypt` and `decrypt`.
     pub fn xor_at(&self, offset: u64, data: &mut [u8]) {
         match &self.inner {
-            Inner::Aes { schedule, base } => aes_ctr_xor(schedule, base, offset, data),
+            Inner::Aes { schedule, base } => aes_ctr_xor(schedule, *base, offset, data),
             Inner::ChaCha(c) => c.xor_at(offset, data),
         }
     }
@@ -131,32 +145,79 @@ impl CipherContext {
     }
 }
 
-/// 128-bit big-endian add of `v` into counter block `ctr`.
-fn counter_add(base: &[u8; 16], v: u64) -> [u8; 16] {
-    let n = u128::from_be_bytes(*base).wrapping_add(v as u128);
-    n.to_be_bytes()
-}
-
-fn aes_ctr_xor(schedule: &Aes128, base: &[u8; 16], offset: u64, data: &mut [u8]) {
+/// Batched AES-CTR keystream XOR (DESIGN.md § perf kernels).
+///
+/// Keystream is generated [`aes::BATCH_BLOCKS`] counter blocks (128 B) at a
+/// time into a stack staging buffer through [`Aes128::encrypt_blocks8`],
+/// driven by a native `u128` counter that is incremented across the whole
+/// call — no per-block `from_be_bytes` round-trip — and combined into the
+/// payload 8 bytes per operation. Unaligned offsets get a scalar head
+/// (partial first block) and sub-batch lengths a per-block tail. The
+/// pre-batching kernel survives as [`crate::reference::aes_ctr_xor`], which
+/// the equivalence tests and the `bench-smoke` perf gate run against this
+/// one.
+fn aes_ctr_xor(schedule: &Aes128, base: u128, offset: u64, data: &mut [u8]) {
+    if data.is_empty() {
+        return;
+    }
+    const BATCH_LEN: usize = aes::BLOCK_LEN * aes::BATCH_BLOCKS;
+    let mut ctr = base.wrapping_add(u128::from(offset / aes::BLOCK_LEN as u64));
     let mut pos = 0usize;
-    let mut abs = offset;
-    let mut keystream = [0u8; 16];
-    while pos < data.len() {
-        let block_index = abs / 16;
-        let in_block = (abs % 16) as usize;
-        keystream = counter_add(base, block_index);
-        schedule.encrypt_block(&mut keystream);
-        let n = (16 - in_block).min(data.len() - pos);
-        for i in 0..n {
-            data[pos + i] ^= keystream[in_block + i];
+    let mut batch = [0u8; BATCH_LEN];
+    let mut single = [0u8; aes::BLOCK_LEN];
+
+    // Head: a partial first block when `offset` is mid-block.
+    let in_block = (offset % aes::BLOCK_LEN as u64) as usize;
+    if in_block != 0 {
+        single = ctr.to_be_bytes();
+        ctr = ctr.wrapping_add(1);
+        schedule.encrypt_block(&mut single);
+        let n = (aes::BLOCK_LEN - in_block).min(data.len());
+        xor::xor_in_place(&mut data[..n], &single[in_block..in_block + n]);
+        pos = n;
+    }
+
+    // Body: full 8-block batches.
+    while data.len() - pos >= BATCH_LEN {
+        for block in batch.chunks_exact_mut(aes::BLOCK_LEN) {
+            block.copy_from_slice(&ctr.to_be_bytes());
+            ctr = ctr.wrapping_add(1);
         }
-        pos += n;
-        abs += n as u64;
+        schedule.encrypt_blocks8(&mut batch);
+        xor::xor_in_place(&mut data[pos..pos + BATCH_LEN], &batch);
+        pos += BATCH_LEN;
     }
-    // Scrub the last keystream block.
-    for b in &mut keystream {
-        unsafe { std::ptr::write_volatile(b, 0) };
+
+    // Tail: remaining whole/partial blocks. With a hardware batch kernel,
+    // one full 8-block batch costs less than even a single software block,
+    // so over-generate and XOR only what is needed (WAL-record-sized
+    // writes live entirely in this path). Without hardware the
+    // over-generation would cost up to 8x a per-block tail, so stay
+    // block-at-a-time there.
+    let rem = data.len() - pos;
+    if rem > 0 && aes::batch_is_accelerated() {
+        for block in batch.chunks_exact_mut(aes::BLOCK_LEN) {
+            block.copy_from_slice(&ctr.to_be_bytes());
+            ctr = ctr.wrapping_add(1);
+        }
+        schedule.encrypt_blocks8(&mut batch);
+        xor::xor_in_place(&mut data[pos..], &batch[..rem]);
+    } else {
+        while pos < data.len() {
+            single = ctr.to_be_bytes();
+            ctr = ctr.wrapping_add(1);
+            schedule.encrypt_block(&mut single);
+            let n = (data.len() - pos).min(aes::BLOCK_LEN);
+            xor::xor_in_place(&mut data[pos..pos + n], &single[..n]);
+            pos += n;
+        }
     }
+
+    // Scrub contract (see crate::xor::scrub): both staging buffers in
+    // full, on the only path that generated keystream — the early return
+    // above produced none.
+    xor::scrub(&mut batch);
+    xor::scrub(&mut single);
 }
 
 #[cfg(test)]
@@ -262,5 +323,41 @@ mod tests {
         CipherContext::new(&dek, &[1u8; 16]).encrypt_at(0, &mut a);
         CipherContext::new(&dek, &[2u8; 16]).encrypt_at(0, &mut b);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chacha_nonce_tail_selects_distinct_streams() {
+        // Regression: bytes 12..16 of the 16-byte nonce used to be
+        // silently dropped for ChaCha20, so two files whose nonces shared
+        // a 12-byte prefix reused a keystream under the same DEK. The tail
+        // now feeds the initial block counter.
+        let dek = Dek::generate(Algorithm::ChaCha20);
+        let mut n1 = [0x11u8; NONCE_LEN];
+        let mut n2 = n1;
+        n1[12..].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        n2[12..].copy_from_slice(&[0xde, 0xad, 0xbe, 0xee]); // last byte differs
+        let mut a = vec![0u8; 256];
+        let mut b = vec![0u8; 256];
+        CipherContext::new(&dek, &n1).encrypt_at(0, &mut a);
+        CipherContext::new(&dek, &n2).encrypt_at(0, &mut b);
+        assert_ne!(a, b, "nonce tails 12..16 must yield distinct keystreams");
+    }
+
+    #[test]
+    fn chacha_nonce_tail_is_a_block_shift() {
+        // The fold is defined as: tail (LE u32) = initial block counter.
+        // So a tail of k encrypting at offset 0 equals a zero tail
+        // encrypting at offset 64·k — pinning the exact semantics.
+        let dek = Dek::generate(Algorithm::ChaCha20);
+        let mut tail2 = [7u8; NONCE_LEN];
+        tail2[12..].copy_from_slice(&2u32.to_le_bytes());
+        let mut tail0 = [7u8; NONCE_LEN];
+        tail0[12..].copy_from_slice(&[0u8; 4]);
+        let original: Vec<u8> = (0..200u32).map(|i| (i % 256) as u8).collect();
+        let mut a = original.clone();
+        CipherContext::new(&dek, &tail2).encrypt_at(0, &mut a);
+        let mut b = original.clone();
+        CipherContext::new(&dek, &tail0).encrypt_at(128, &mut b);
+        assert_eq!(a, b);
     }
 }

@@ -14,6 +14,12 @@
 //! (§3.2, §5.3). Callers that encrypt many small payloads with one context
 //! amortize that cost; callers that build a fresh context per payload pay it
 //! every time.
+//!
+//! The keystream XOR kernels behind [`CipherContext::xor_at`] are batched —
+//! multi-block keystream generation plus word-wide combining (DESIGN.md
+//! § perf kernels) — while the per-call init cost above is deliberately
+//! untouched. The pre-batching scalar kernels live on in [`reference`] as
+//! the bit-for-bit and performance baseline.
 
 pub mod aes;
 pub mod chacha20;
@@ -22,7 +28,9 @@ pub mod crc32c;
 pub mod dek;
 pub mod hmac;
 pub mod kdf;
+pub mod reference;
 pub mod sha256;
+pub mod xor;
 
 pub use cipher::{Algorithm, CipherContext, NONCE_LEN};
 pub use crc32c::{crc32c, crc32c_extend, crc32c_masked, crc32c_unmask};

@@ -1,0 +1,109 @@
+//! Word-wide XOR and keystream-buffer scrubbing shared by the batched
+//! cipher kernels (see DESIGN.md § perf kernels).
+//!
+//! Both stream ciphers in this crate reduce to "generate keystream, XOR it
+//! into the payload". The XOR half used to be a byte-indexed loop; these
+//! helpers combine 8 bytes per operation through unaligned `u64`
+//! loads/stores (byte order is irrelevant under XOR, so native endianness
+//! is used), with a scalar tail for the last `len % 8` bytes.
+
+/// XORs `src` into `dst` in place (`dst[i] ^= src[i]`), 8 bytes at a time.
+///
+/// Offsets into the payload are arbitrary, so no alignment is assumed:
+/// `from_ne_bytes`/`to_ne_bytes` on 8-byte chunks compile to unaligned
+/// word loads and stores on every supported target.
+///
+/// # Panics
+/// Panics if `dst` and `src` differ in length.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let w = u64::from_ne_bytes(d[0..8].try_into().unwrap())
+            ^ u64::from_ne_bytes(s[0..8].try_into().unwrap());
+        d.copy_from_slice(&w.to_ne_bytes());
+    }
+    for (d, s) in dst_words.into_remainder().iter_mut().zip(src_words.remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// Zeroes `buf` with volatile writes the optimizer cannot elide.
+///
+/// Scrub contract: every keystream kernel routes its *entire* staging
+/// buffer (not just the last block it happened to fill) through this
+/// before returning, on every path that generated any keystream — so
+/// expanded keystream bytes never outlive the XOR that consumed them.
+/// Best-effort only: register copies and spill slots are out of scope, as
+/// they are for the round-key scrub in [`crate::aes::Aes128`]'s `Drop`.
+pub fn scrub(buf: &mut [u8]) {
+    // Volatile so dead-store elimination cannot remove the zeroing;
+    // word-wide over the aligned middle so scrubbing a staging buffer
+    // costs ~len/8 stores instead of len (it sits on the per-call XOR
+    // path, so its cost is measurable on small payloads).
+    // SAFETY: `align_to_mut` only marks the middle as `u64` where it is
+    // properly aligned, and all writes stay inside `buf`.
+    let (head, words, tail) = unsafe { buf.align_to_mut::<u64>() };
+    for b in head {
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    for w in words {
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    for b in tail {
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_matches_bytewise_at_every_length() {
+        // Cover the empty, sub-word, word-boundary, and tail cases.
+        for len in 0..=40usize {
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 7 + 3) as u8).collect();
+            let src: Vec<u8> = (0..len).map(|i| (i * 13 + 1) as u8).collect();
+            let expected: Vec<u8> =
+                dst.iter().zip(src.iter()).map(|(a, b)| a ^ b).collect();
+            xor_in_place(&mut dst, &src);
+            assert_eq!(dst, expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        let original: Vec<u8> = (0..100).map(|i| (i * 31 % 251) as u8).collect();
+        let pad: Vec<u8> = (0..100).map(|i| (i * 17 % 253) as u8).collect();
+        let mut data = original.clone();
+        xor_in_place(&mut data, &pad);
+        assert_ne!(data, original);
+        xor_in_place(&mut data, &pad);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_rejects_mismatched_lengths() {
+        xor_in_place(&mut [0u8; 3], &[0u8; 4]);
+    }
+
+    #[test]
+    fn scrub_zeroes_the_whole_buffer() {
+        // The scrub contract: after a kernel returns, the full staging
+        // buffer is zero — a regression here would leak keystream bytes on
+        // the stack. (Whether the volatile writes survive optimization is
+        // not observable from safe code; this pins the functional half.)
+        let mut buf = [0xa5u8; 256];
+        scrub(&mut buf);
+        assert_eq!(buf, [0u8; 256]);
+        // Partial-slice scrubs only touch the given range.
+        let mut buf = [0xa5u8; 16];
+        scrub(&mut buf[4..12]);
+        assert_eq!(&buf[..4], &[0xa5; 4]);
+        assert_eq!(&buf[4..12], &[0; 8]);
+        assert_eq!(&buf[12..], &[0xa5; 4]);
+    }
+}

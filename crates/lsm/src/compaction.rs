@@ -162,6 +162,20 @@ fn pick_universal(version: &Version, params: &CompactionParams) -> Option<Compac
     if runs < params.universal_run_trigger.max(2) {
         return None;
     }
+    // A full merge may split its output into several files when the data
+    // exceeds `target_file_size`; those files are key-disjoint (outputs
+    // are cut at user-key boundaries) and together form ONE sorted run.
+    // Re-merging a single run reproduces its own input, so the picker
+    // would fire again on the identical file set and the engine would
+    // recompact the same data forever. Only fire when L0 really holds
+    // more than one run, i.e. some pair of files overlaps.
+    let mut files: Vec<&Arc<FileMeta>> = version.files[0].iter().collect();
+    files.sort_by(|a, b| a.smallest_user_key().cmp(b.smallest_user_key()));
+    let single_sorted_run =
+        files.windows(2).all(|w| w[0].largest_user_key() < w[1].smallest_user_key());
+    if single_sorted_run {
+        return None;
+    }
     Some(CompactionTask::Merge {
         input_level: 0,
         output_level: 0,
@@ -501,6 +515,33 @@ mod tests {
                 assert_eq!(inputs.len(), 3);
                 assert!(overlaps.is_empty());
             }
+            CompactionTask::FifoTrim { .. } => panic!("expected merge"),
+        }
+    }
+
+    #[test]
+    fn universal_does_not_remerge_a_single_sorted_run() {
+        // Regression: a full merge whose output split into >= trigger
+        // key-disjoint files must NOT be picked again — re-merging a
+        // single sorted run reproduces its own input and the engine
+        // would recompact the same data forever (livelocking
+        // `wait_for_background_work`).
+        let params = CompactionParams {
+            style: CompactionStyle::Universal,
+            universal_run_trigger: 3,
+            ..CompactionParams::default()
+        };
+        let mut v = Version::new();
+        v.files[0] = vec![
+            meta_with(3, "q", "z", 100),
+            meta_with(2, "i", "p", 100),
+            meta_with(1, "a", "h", 100),
+        ];
+        assert!(pick_compaction(&v, &params).is_none());
+        // A new flushed run overlapping the merged one re-arms the picker.
+        v.files[0].insert(0, meta_with(4, "c", "f", 100));
+        match pick_compaction(&v, &params).unwrap() {
+            CompactionTask::Merge { inputs, .. } => assert_eq!(inputs.len(), 4),
             CompactionTask::FifoTrim { .. } => panic!("expected merge"),
         }
     }

@@ -966,7 +966,11 @@ impl DbInner {
     /// pruned from the secure cache and revoked at the KDS — this is the
     /// "old DEKs die with their files" half of key rotation (§5.2).
     fn delete_obsolete_files(&self, state: &mut State) {
-        let live: HashSet<u64> = state.versions.current().live_files().into_iter().collect();
+        // referenced_files() (not current().live_files()): readers clone the
+        // current Arc<Version> under this same lock and then read SSTs
+        // lock-free, so files of superseded-but-still-pinned versions must
+        // survive until the last reader drops its pin.
+        let live: HashSet<u64> = state.versions.referenced_files();
         let min_wal = state
             .imm
             .first()

@@ -18,6 +18,12 @@
 //! * `chunk_size` / `threads` — compaction-time chunked encryption (§5.2):
 //!   buffered data is encrypted in `chunk_size` pieces, optionally across
 //!   a scoped thread pool, one context per chunk.
+//!
+//! The keystream kernels *under* `CipherContext::xor_at` are batched
+//! (multi-block AES-CTR/ChaCha20 with hardware dispatch — DESIGN.md §4d),
+//! which raises per-byte throughput only; the per-call init cost this
+//! module's buffering amortizes, and the `cipher_inits()` counters that
+//! observe it, are untouched by that work.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

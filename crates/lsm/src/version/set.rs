@@ -1,7 +1,8 @@
 //! The version set: current [`Version`], MANIFEST persistence, and
 //! file-number / sequence-number allocation.
 
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Weak};
 
 use shield_env::{Env, FileKind};
 
@@ -20,6 +21,11 @@ pub struct VersionSet {
     encryption: Option<EncryptionConfig>,
     table_cache: Arc<TableCache>,
     current: Arc<Version>,
+    /// Superseded versions that may still be pinned by in-flight readers
+    /// (a `get`/iterator clones the current `Arc<Version>` and then reads
+    /// its files without the state lock). Obsolete-file deletion must
+    /// treat their files as live until the last reader drops its pin.
+    retired: Vec<Weak<Version>>,
     manifest: Option<LogWriter>,
     manifest_number: u64,
     next_file_number: u64,
@@ -42,6 +48,7 @@ impl VersionSet {
             encryption,
             table_cache,
             current: Arc::new(Version::new()),
+            retired: Vec::new(),
             manifest: None,
             manifest_number: 0,
             next_file_number: 1,
@@ -243,8 +250,24 @@ impl VersionSet {
         let mut builder = Builder::new((*self.current).clone());
         builder.apply(&edit);
         let next = Arc::new(builder.finish());
+        self.retired.push(Arc::downgrade(&self.current));
         self.current = next.clone();
         Ok(next)
+    }
+
+    /// File numbers referenced by the current version or by any
+    /// superseded version an in-flight reader still pins. Dropped pins
+    /// are pruned as a side effect; their files count as live until the
+    /// next call, so deletion is at worst deferred, never premature.
+    pub fn referenced_files(&mut self) -> HashSet<u64> {
+        let mut live: HashSet<u64> = self.current.live_files().into_iter().collect();
+        self.retired.retain(|weak| {
+            weak.upgrade().is_some_and(|version| {
+                live.extend(version.live_files());
+                true
+            })
+        });
+        live
     }
 }
 

@@ -3,11 +3,19 @@
 #
 #   tier 1: cargo build --release && cargo test -q     (the seed gate)
 #   tier 2: cargo test -q --test fault_injection       (torture matrix)
+#   tier 3: bench-smoke — crypto kernel perf-regression gate: batched
+#           AES-CTR must stay ≥2x (ChaCha20 ≥1.5x) the scalar reference
+#           on 4 KiB payloads, refreshing BENCH_crypto.json
+#           (see DESIGN.md § perf kernels).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
-#           errors must stay errors (see DESIGN.md §4c).
+#           errors must stay errors (see DESIGN.md §4c); plus clippy's
+#           needless_range_loop over the crypto crate so hot loops stay
+#           iterator-shaped (skipped if clippy is unavailable).
 #
-# Usage: scripts/verify.sh [--quick]   (--quick skips the release build)
+# Usage: scripts/verify.sh [--quick]
+#   --quick skips the release build and the tiers that need it
+#   (clippy gate, tier 3 bench-smoke).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +41,14 @@ fi
 echo "ok"
 
 if [[ $quick -eq 0 ]]; then
+    echo "== lint: clippy needless_range_loop gate (crates/crypto) =="
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy --release -q -p shield-crypto -- -D clippy::needless_range_loop
+        echo "ok"
+    else
+        echo "skipped (cargo clippy unavailable)"
+    fi
+
     echo "== tier 1a: release build =="
     cargo build --release
 fi
@@ -42,5 +58,17 @@ cargo test -q
 
 echo "== tier 2: fault-injection torture matrix =="
 cargo test -q --test fault_injection
+
+if [[ $quick -eq 0 ]]; then
+    echo "== tier 3: bench-smoke (crypto kernel perf-regression gate) =="
+    cargo run --release -q -p shield-bench --bin crypto -- --smoke --out BENCH_crypto.json
+    for key in batched_mib_s scalar_mib_s cipher_init_ns speedup_4096; do
+        if ! grep -q "\"$key\"" BENCH_crypto.json; then
+            echo "FAIL: BENCH_crypto.json missing key $key"
+            exit 1
+        fi
+    done
+    echo "ok"
+fi
 
 echo "ALL VERIFICATION TIERS PASSED"
