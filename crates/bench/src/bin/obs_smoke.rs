@@ -1,0 +1,197 @@
+//! Observability smoke gate — `verify.sh`'s obs-smoke tier.
+//!
+//! ```text
+//! obs_smoke [--out PATH]      # default PATH: OBS_metrics.json
+//! ```
+//!
+//! Three checks, any failure exits non-zero:
+//!
+//! 1. **Disabled-path overhead** — one `perf::timer()` +
+//!    `perf::add_elapsed()` pair with PerfContext *disabled* must cost
+//!    < 2% of encrypting one 4 KiB chunk (the cheapest crypto unit a
+//!    SHIELD read path touches), so leaving the hooks compiled in is
+//!    free for production workloads.
+//! 2. **Event log** — a small SHIELD workload on a real filesystem must
+//!    leave a `LOG` whose `flush_begin`/`flush_end` and
+//!    `compaction_begin`/`compaction_end` lines pair up (and occur at
+//!    least once each).
+//! 3. **Metrics report** — `Db::metrics_report().to_json()` must carry
+//!    every `shield_metrics_v1` top-level key; the document is written
+//!    to `--out` for inspection.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use shield::{open_shield, ReadOptions, ShieldOptions, WriteOptions};
+use shield_core::{perf, LogConfig, LogLevel, PerfMetric};
+use shield_crypto::{Algorithm, CipherContext, Dek, NONCE_LEN};
+use shield_env::PosixEnv;
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::Options;
+
+/// Gate: a disabled timer pair must stay under this fraction of one
+/// 4 KiB chunk encryption.
+const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+fn main() -> ExitCode {
+    let mut out = "OBS_metrics.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => return die("--out needs a path"),
+                }
+            }
+            other => return die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+
+    // 1. Disabled-path overhead gate.
+    let pair_ns = measure_disabled_pair_ns();
+    let chunk_ns = measure_chunk_encrypt_ns();
+    let ratio = pair_ns / chunk_ns;
+    println!(
+        "perf disabled pair: {pair_ns:.2} ns, 4 KiB encrypt: {chunk_ns:.0} ns, ratio {:.3}%",
+        ratio * 100.0
+    );
+    if ratio >= MAX_DISABLED_OVERHEAD {
+        println!(
+            "FAIL: disabled PerfContext pair costs {:.2}% of a 4 KiB chunk (gate {:.0}%)",
+            ratio * 100.0,
+            MAX_DISABLED_OVERHEAD * 100.0
+        );
+        failed = true;
+    }
+
+    // 2 + 3. Small SHIELD workload on a real FS; LOG pairing and the
+    // metrics JSON both come out of it.
+    let dir = std::env::temp_dir().join(format!("shield-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.to_string_lossy().into_owned();
+    let json = run_workload(&path);
+    let log = std::fs::read_to_string(dir.join("LOG")).unwrap_or_default();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (begin, end) in
+        [("flush_begin", "flush_end"), ("compaction_begin", "compaction_end")]
+    {
+        let b = log.matches(begin).count();
+        let e = log.matches(end).count();
+        println!("LOG: {b} {begin} / {e} {end}");
+        if b == 0 || b != e {
+            println!("FAIL: expected paired {begin}/{end} lines, got {b}/{e}");
+            failed = true;
+        }
+    }
+
+    for key in [
+        "\"schema\":\"shield_metrics_v1\"",
+        "\"levels\"",
+        "\"write_amplification\"",
+        "\"read_amplification\"",
+        "\"latencies_us\"",
+        "\"tickers\"",
+        "\"gauges\"",
+    ] {
+        if !json.contains(key) {
+            println!("FAIL: metrics JSON missing {key}");
+            failed = true;
+        }
+    }
+
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        println!("FAIL: writing {out}: {e}");
+        failed = true;
+    } else {
+        println!("metrics report → {out}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("obs-smoke ok");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Best-of-3 cost of one *disabled* `timer()`/`add_elapsed()` pair — the
+/// exact instrumentation the hot read path runs when no PerfContext is
+/// collecting.
+fn measure_disabled_pair_ns() -> f64 {
+    const ITERS: u32 = 200_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            let t = perf::timer();
+            perf::add_elapsed(PerfMetric::BlockDecrypt, black_box(t));
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    best
+}
+
+/// Best-of-3 cost of encrypting one 4 KiB chunk with the paper-default
+/// cipher.
+fn measure_chunk_encrypt_ns() -> f64 {
+    const ITERS: u32 = 2_000;
+    let dek = Dek::generate(Algorithm::Aes128Ctr);
+    let mut nonce = [0u8; NONCE_LEN];
+    shield_crypto::secure_random(&mut nonce);
+    let ctx = CipherContext::new(&dek, &nonce);
+    let mut buf = vec![0xa5u8; 4096];
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            ctx.xor_at(0, black_box(&mut buf));
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    best
+}
+
+/// Runs a tiny SHIELD workload tuned to force flushes and compactions
+/// (16 KiB memtable, L0 trigger 2) and returns the final metrics JSON.
+/// Closing the DB before returning guarantees the LOG is complete.
+fn run_workload(path: &str) -> String {
+    let mut opts = Options::new(Arc::new(PosixEnv::new()));
+    opts.write_buffer_size = 16 << 10;
+    opts.compaction.l0_compaction_trigger = 2;
+    opts.info_log = Some(LogConfig { level: Some(LogLevel::Info), json: false });
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    let db = open_shield(
+        opts,
+        path,
+        ShieldOptions::new(kds as Arc<dyn Kds>, ServerId(1), b"obs-smoke"),
+    )
+    .expect("open_shield");
+
+    let wopts = WriteOptions::default();
+    let value = vec![0x5au8; 256];
+    for id in 0..2_000u64 {
+        let key = format!("key-{id:06}");
+        db.put(&wopts, key.as_bytes(), &value).expect("put");
+    }
+    db.compact_all().expect("compact_all");
+    let ropts = ReadOptions::new();
+    for id in (0..2_000u64).step_by(97) {
+        let key = format!("key-{id:06}");
+        assert!(db.get(&ropts, key.as_bytes()).expect("get").is_some());
+    }
+    db.metrics_report().to_json()
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

@@ -78,6 +78,11 @@ fn main() {
                 Err(err) => eprintln!("  ! failed to save CSV: {err}"),
             }
         }
+        match shield_bench::report::save_metrics_sidecar(&out_dir, e.id) {
+            Ok(Some(path)) => println!("  → {path}"),
+            Ok(None) => {}
+            Err(err) => eprintln!("  ! failed to save metrics sidecar: {err}"),
+        }
         println!("  ({:.1}s)", started.elapsed().as_secs_f64());
     }
     println!("\nAll done in {:.1}s.", t0.elapsed().as_secs_f64());

@@ -111,6 +111,9 @@ pub fn run_workload(db: &Db, cfg: &DriverConfig) -> RunResult {
         hist.merge(h);
         found += f;
     }
+    // Every run leaves the engine's own view of what happened in the
+    // sidecar queue; `paper` writes it next to the experiment's CSV.
+    crate::report::record_metrics_json(db.metrics_report().to_json());
     RunResult { ops: per_thread * cfg.threads as u64, elapsed, hist, found }
 }
 

@@ -1,153 +1,29 @@
-//! Log-bucketed latency histogram (nanosecond resolution, microsecond
-//! reporting), cheap enough to record every operation.
+//! Latency histogram for the bench harness.
+//!
+//! The implementation was promoted into the dependency-free `shield-core`
+//! crate (`shield_core::hist`) so the *engine* records per-op latencies
+//! with the very same buckets the harness reports (×2 per bucket starting
+//! at 250 ns, 48 buckets). This module re-exports it for the harness's
+//! existing call sites.
 
-/// A histogram over latencies in nanoseconds.
-///
-/// Buckets grow geometrically (×2 per bucket from 1 µs), bounded memory,
-/// ~5% quantile error — plenty for p50/p99 reporting.
-#[derive(Clone)]
-pub struct Histogram {
-    /// buckets[i] counts latencies in [bound(i-1), bound(i)).
-    buckets: Vec<u64>,
-    count: u64,
-    sum_ns: u64,
-    max_ns: u64,
-}
-
-const NUM_BUCKETS: usize = 48;
-
-fn bucket_bound(i: usize) -> u64 {
-    // 250ns, 500ns, 1µs, 2µs, … doubling.
-    250u64 << i
-}
-
-fn bucket_for(ns: u64) -> usize {
-    for i in 0..NUM_BUCKETS {
-        if ns < bucket_bound(i) {
-            return i;
-        }
-    }
-    NUM_BUCKETS - 1
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        Histogram { buckets: vec![0; NUM_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
-    }
-
-    /// Records one latency.
-    pub fn record(&mut self, ns: u64) {
-        self.buckets[bucket_for(ns)] += 1;
-        self.count += 1;
-        self.sum_ns += ns;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Merges another histogram (e.g. from another thread).
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-
-    /// Number of recorded samples.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in microseconds.
-    #[must_use]
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.sum_ns as f64 / self.count as f64 / 1000.0
-    }
-
-    /// Approximate quantile (0.0–1.0) in microseconds.
-    #[must_use]
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Midpoint of the bucket, capped at the observed max.
-                let hi = bucket_bound(i);
-                let lo = if i == 0 { 0 } else { bucket_bound(i - 1) };
-                return ((lo + hi) / 2).min(self.max_ns) as f64 / 1000.0;
-            }
-        }
-        self.max_ns as f64 / 1000.0
-    }
-
-    /// p99 latency in microseconds.
-    #[must_use]
-    pub fn p99_us(&self) -> f64 {
-        self.quantile_us(0.99)
-    }
-}
+pub use shield_core::{AtomicHistogram, Histogram, HistogramSummary};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The harness-facing contract the experiments rely on.
     #[test]
-    fn records_and_reports() {
+    fn harness_facing_api_is_intact() {
         let mut h = Histogram::new();
-        for i in 1..=1000u64 {
-            h.record(i * 1000); // 1µs … 1000µs
+        for ns in [300u64, 900, 12_000, 1_000_000] {
+            h.record(ns);
         }
-        assert_eq!(h.count(), 1000);
-        let mean = h.mean_us();
-        assert!((mean - 500.5).abs() < 1.0, "mean {mean}");
-        let p50 = h.quantile_us(0.5);
-        assert!(p50 > 300.0 && p50 < 800.0, "p50 {p50}");
-        let p99 = h.p99_us();
-        assert!(p99 > 700.0, "p99 {p99}");
-        assert!(p99 >= p50);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(1000);
-        b.record(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        // Log-bucketed: the 1 ms sample lands in the [524µs, 1048µs)
-        // bucket, so the reported max is its midpoint (≥ 500 µs).
-        assert!(a.quantile_us(1.0) >= 500.0);
-    }
-
-    #[test]
-    fn empty_is_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.mean_us(), 0.0);
-        assert_eq!(h.p99_us(), 0.0);
-    }
-
-    #[test]
-    fn huge_latency_clamped_to_last_bucket() {
-        let mut h = Histogram::new();
-        h.record(u64::MAX / 2);
-        assert_eq!(h.count(), 1);
-        assert!(h.quantile_us(0.5) > 0.0);
+        let mut other = Histogram::new();
+        other.record(500);
+        h.merge(&other);
+        assert_eq!(h.count(), 5);
+        assert!(h.mean_us() > 0.0);
+        assert!(h.p99_us() >= h.quantile_us(0.5));
     }
 }

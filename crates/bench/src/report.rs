@@ -1,7 +1,42 @@
 //! Result tables: aligned console rendering plus CSV export, one file per
-//! experiment, mirroring the paper's tables/figures.
+//! experiment, mirroring the paper's tables/figures — plus the engine
+//! metrics sidecar every experiment run carries.
 
 use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+fn sidecar_queue() -> &'static Mutex<Vec<String>> {
+    static SIDECAR: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    SIDECAR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Queues one engine metrics report (a `shield_metrics_v1` JSON document,
+/// from `Db::metrics_report().to_json()`) for the running experiment's
+/// sidecar. The driver calls this after every workload run.
+pub fn record_metrics_json(json: String) {
+    if let Ok(mut q) = sidecar_queue().lock() {
+        q.push(json);
+    }
+}
+
+/// Drains every queued metrics report, in run order.
+pub fn drain_metrics_json() -> Vec<String> {
+    sidecar_queue().lock().map(|mut q| std::mem::take(&mut *q)).unwrap_or_default()
+}
+
+/// Writes `<dir>/<id>.metrics.json` — a JSON array of all engine metrics
+/// reports queued since the last drain — and returns its path, or `None`
+/// when nothing was queued (e.g. an experiment that never ran a workload).
+pub fn save_metrics_sidecar(dir: &str, id: &str) -> std::io::Result<Option<String>> {
+    let reports = drain_metrics_json();
+    if reports.is_empty() {
+        return Ok(None);
+    }
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{id}.metrics.json");
+    std::fs::write(&path, format!("[{}]\n", reports.join(",")))?;
+    Ok(Some(path))
+}
 
 /// A result table for one experiment.
 #[derive(Clone, Debug)]

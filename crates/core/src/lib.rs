@@ -30,8 +30,8 @@ use shield_lsm::{Db, Error, Options, Result};
 
 pub use encfs::EncryptedEnv;
 pub use shield_lsm::{
-    CompactionStyle, DbIterator, ReadOptions, Snapshot, Statistics, StatsSnapshot, WriteBatch,
-    WriteOptions,
+    CompactionStyle, DbIterator, Event, EventListener, LogConfig, LogLevel, MetricsReport,
+    PerfContext, ReadOptions, Snapshot, Statistics, StatsSnapshot, WriteBatch, WriteOptions,
 };
 
 /// Name of the secure DEK cache file inside a database directory.
@@ -201,6 +201,9 @@ pub fn open_shield(mut base: Options, path: &str, shield: ShieldOptions) -> Resu
     }
     base.encryption = Some(encryption.clone());
     let db = Db::open(base, path)?;
+    // KDS retries/failovers/degraded transitions land in the same event
+    // stream (and LOG file) as the engine's own events.
+    resolver.set_event_listener(db.events());
     Ok(ShieldDb { db, encryption, resolver })
 }
 
@@ -282,6 +285,48 @@ mod tests {
         );
         assert_eq!(kds.stats().fetched, before_fetches, "secure cache should serve restarts");
         assert!(sdb.resolver.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn perf_context_breaks_down_shield_get() {
+        let env = MemEnv::new();
+        let kds: Arc<dyn Kds> = Arc::new(LocalKds::new(KdsConfig::default()));
+        let shield_opts = ShieldOptions::new(kds.clone(), ServerId(1), b"passkey");
+        {
+            let sdb = open_shield(mem_opts(&env), "db", shield_opts.clone()).unwrap();
+            for i in 0..500u32 {
+                sdb.put(&WriteOptions::default(), format!("key-{i:04}").as_bytes(), &[7u8; 256])
+                    .unwrap();
+            }
+            sdb.flush().unwrap();
+        }
+        // Reopen with the block cache disabled: the get must hit (encrypted)
+        // storage, resolve the SST's DEK, and decrypt — all attributable.
+        let mut opts = mem_opts(&env);
+        opts.block_cache_bytes = 0;
+        let sdb = open_shield(opts, "db", shield_opts).unwrap();
+
+        let wall_start = std::time::Instant::now();
+        let (value, perf) =
+            sdb.with_perf_context(|db| db.get(&ReadOptions::new(), b"key-0123").unwrap());
+        let wall_nanos = wall_start.elapsed().as_nanos() as u64;
+        assert_eq!(value, Some(vec![7u8; 256]));
+        assert!(perf.block_read_nanos > 0, "must see storage reads: {perf:?}");
+        assert!(perf.block_decrypt_nanos > 0, "must see decryption: {perf:?}");
+        assert!(perf.dek_resolve_nanos > 0, "must see DEK resolution: {perf:?}");
+        assert!(perf.blocks_read > 0);
+        assert!(
+            perf.timed_nanos() <= wall_nanos,
+            "components ({}) must not exceed wall time ({wall_nanos}): {perf:?}",
+            perf.timed_nanos()
+        );
+        // The guard restored the disabled context on exit, and a plain
+        // (uninstrumented) get accumulates nothing.
+        assert_eq!(
+            sdb.get(&ReadOptions::new(), b"key-0001").unwrap(),
+            Some(vec![7u8; 256])
+        );
+        assert!(shield_core::perf::current().is_zero(), "disabled path must stay all-zero");
     }
 
     #[test]

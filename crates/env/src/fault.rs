@@ -19,12 +19,14 @@
 //! composes: `RemoteEnv::new(Arc::new(FaultInjectionEnv::new(mem)), …)`
 //! yields a faulty disaggregated store.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use shield_core::{Event, EventListener};
 
 use crate::{
     read_file_to_vec, Env, EnvError, EnvResult, FileKind, IoStats, RandomAccessFile,
@@ -226,25 +228,36 @@ struct FaultState {
     rules: Mutex<HashMap<(usize, usize), Rule>>,
     files: Mutex<HashMap<String, Track>>,
     stats: FaultStats,
+    listener: Mutex<Option<Arc<dyn EventListener>>>,
+}
+
+thread_local! {
+    /// Suppresses fault events fired *by* an event sink's own I/O (the
+    /// `LOG` file is written through this very env), which would
+    /// otherwise recurse emit → append → check → emit.
+    static EMITTING_FAULT_EVENT: Cell<bool> = const { Cell::new(false) };
 }
 
 impl FaultState {
     /// Checks the rule slot for (kind, op); returns an error to inject.
     fn check(&self, kind: FileKind, op: FaultOp) -> Option<EnvError> {
-        let key = (kind.index(), op.index());
-        let mut rules = self.rules.lock();
-        let rule = rules.get_mut(&key)?;
-        // Torn-write rules are handled by the writable wrapper, which needs
-        // to persist a prefix first; plain `check` skips them.
-        if rule.torn {
-            return None;
-        }
-        let fired = rule.check();
-        if rule.exhausted() {
-            rules.remove(&key);
-        }
+        let fired = {
+            let mut rules = self.rules.lock();
+            let rule = rules.get_mut(&(kind.index(), op.index()))?;
+            // Torn-write rules are handled by the writable wrapper, which
+            // needs to persist a prefix first; plain `check` skips them.
+            if rule.torn {
+                return None;
+            }
+            let fired = rule.check();
+            if rule.exhausted() {
+                rules.remove(&(kind.index(), op.index()));
+            }
+            fired
+        };
         if fired.is_some() {
             self.stats.injected[op.index()].fetch_add(1, Ordering::Relaxed);
+            self.emit(op, kind, false);
         }
         fired
     }
@@ -252,20 +265,38 @@ impl FaultState {
     /// Checks for an armed torn-write rule on (kind, Append).
     fn check_torn(&self, kind: FileKind) -> Option<EnvError> {
         let key = (kind.index(), FaultOp::Append.index());
-        let mut rules = self.rules.lock();
-        let rule = rules.get_mut(&key)?;
-        if !rule.torn {
-            return None;
-        }
-        let fired = rule.check();
-        if rule.exhausted() {
-            rules.remove(&key);
-        }
+        let fired = {
+            let mut rules = self.rules.lock();
+            let rule = rules.get_mut(&key)?;
+            if !rule.torn {
+                return None;
+            }
+            let fired = rule.check();
+            if rule.exhausted() {
+                rules.remove(&key);
+            }
+            fired
+        };
         if fired.is_some() {
             self.stats.injected[FaultOp::Append.index()].fetch_add(1, Ordering::Relaxed);
             self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            self.emit(FaultOp::Append, kind, true);
         }
         fired
+    }
+
+    /// Reports an injected fault to the registered listener, outside the
+    /// rules lock and guarded against the sink's own I/O re-entering.
+    fn emit(&self, op: FaultOp, kind: FileKind, torn: bool) {
+        if EMITTING_FAULT_EVENT.with(Cell::get) {
+            return;
+        }
+        let listener = self.listener.lock().clone();
+        if let Some(l) = listener {
+            EMITTING_FAULT_EVENT.with(|e| e.set(true));
+            l.on_event(&Event::FaultInjected { op: op.label(), file_kind: kind.label(), torn });
+            EMITTING_FAULT_EVENT.with(|e| e.set(false));
+        }
     }
 }
 
@@ -290,6 +321,7 @@ impl FaultInjectionEnv {
                 rules: Mutex::new(HashMap::new()),
                 files: Mutex::new(HashMap::new()),
                 stats: FaultStats::default(),
+                listener: Mutex::new(None),
             }),
         }
     }
@@ -592,6 +624,11 @@ impl Env for FaultInjectionEnv {
 
     fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
         Some(self.stats())
+    }
+
+    fn set_event_listener(&self, listener: Arc<dyn EventListener>) {
+        *self.state.listener.lock() = Some(listener.clone());
+        self.inner.set_event_listener(listener);
     }
 }
 

@@ -188,6 +188,11 @@ pub trait Env: Send + Sync {
     fn fault_stats(&self) -> Option<FaultStatsSnapshot> {
         None
     }
+    /// Registers an observability event listener. Ordinary envs have
+    /// nothing to report and ignore it; wrapping envs forward it, and
+    /// the fault-injection env emits [`shield_core::Event::FaultInjected`]
+    /// through it. The engine calls this once at `Db::open`.
+    fn set_event_listener(&self, _listener: Arc<dyn shield_core::EventListener>) {}
 }
 
 /// Reads an entire file into memory.

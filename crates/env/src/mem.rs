@@ -134,11 +134,16 @@ struct MemReadable {
 
 impl RandomAccessFile for MemReadable {
     fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        // Leaf-level read: PerfContext block_read covers exactly the raw
+        // "device" copy, below any decryption wrapper.
+        let t = shield_core::perf::timer();
         let f = self.file.read();
         let start = (offset as usize).min(f.os_content.len());
         let end = (start + len).min(f.os_content.len());
         self.stats.record_read(self.kind, (end - start) as u64);
-        Ok(Bytes::copy_from_slice(&f.os_content[start..end]))
+        let data = Bytes::copy_from_slice(&f.os_content[start..end]);
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::BlockRead, t);
+        Ok(data)
     }
 
     fn len(&self) -> EnvResult<u64> {

@@ -86,6 +86,9 @@ struct PosixReadable {
 
 impl RandomAccessFile for PosixReadable {
     fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        // Leaf-level read: PerfContext block_read covers exactly the raw
+        // file I/O, below any decryption wrapper.
+        let t = shield_core::perf::timer();
         let mut buf = vec![0u8; len];
         let n = {
             let mut f = self.file.lock();
@@ -103,6 +106,7 @@ impl RandomAccessFile for PosixReadable {
         };
         buf.truncate(n);
         self.stats.record_read(self.kind, n as u64);
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::BlockRead, t);
         Ok(Bytes::from(buf))
     }
 

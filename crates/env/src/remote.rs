@@ -303,6 +303,10 @@ impl Env for RemoteEnv {
     fn fault_stats(&self) -> Option<crate::FaultStatsSnapshot> {
         self.inner.fault_stats()
     }
+
+    fn set_event_listener(&self, listener: Arc<dyn shield_core::EventListener>) {
+        self.inner.set_event_listener(listener);
+    }
 }
 
 #[cfg(test)]

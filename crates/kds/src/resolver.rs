@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use shield_core::{perf, Event, EventListener, PerfMetric};
 use shield_crypto::{Algorithm, Dek, DekId};
 
 use crate::{CacheError, Kds, KdsError, SecureDekCache, ServerId};
@@ -158,6 +159,11 @@ pub struct DekResolver {
     retries: AtomicU64,
     timeouts: AtomicU64,
     degraded_hits: AtomicU64,
+    /// Observability sink for retry/failover/degraded events; set once by
+    /// the embedding DB after open.
+    events: Mutex<Option<Arc<dyn EventListener>>>,
+    /// Last KDS failover count seen, to emit one event per new failover.
+    seen_failovers: AtomicU64,
 }
 
 impl DekResolver {
@@ -197,6 +203,31 @@ impl DekResolver {
             retries: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             degraded_hits: AtomicU64::new(0),
+            events: Mutex::new(None),
+            seen_failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers the observability listener events are reported through
+    /// (KDS retries, failovers, degraded-mode transitions).
+    pub fn set_event_listener(&self, listener: Arc<dyn EventListener>) {
+        *self.events.lock() = Some(listener);
+    }
+
+    fn emit(&self, event: Event) {
+        let listener = self.events.lock().clone();
+        if let Some(l) = listener {
+            l.on_event(&event);
+        }
+    }
+
+    /// Emits one [`Event::KdsFailover`] if the backing KDS reports more
+    /// failovers than last observed.
+    fn check_failovers(&self) {
+        let now = self.kds.stats().failovers;
+        let seen = self.seen_failovers.swap(now, Ordering::Relaxed);
+        if now > seen {
+            self.emit(Event::KdsFailover { failovers: now });
         }
     }
 
@@ -231,11 +262,18 @@ impl DekResolver {
             };
             match outcome {
                 Ok(value) => {
-                    self.degraded.store(false, Ordering::SeqCst);
+                    if self.degraded.swap(false, Ordering::SeqCst) {
+                        self.emit(Event::KdsDegradedExit);
+                    }
                     return Ok(value);
                 }
                 Err(e) if e.is_retryable() && attempt + 1 < self.policy.max_attempts => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.emit(Event::KdsRetry {
+                        attempt: u64::from(attempt + 1),
+                        message: e.to_string(),
+                    });
+                    self.check_failovers();
                     let delay = self.policy.backoff(attempt, &mut self.jitter.lock());
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
@@ -244,7 +282,10 @@ impl DekResolver {
                 }
                 Err(e) => {
                     if e.is_retryable() {
-                        self.degraded.store(true, Ordering::SeqCst);
+                        if !self.degraded.swap(true, Ordering::SeqCst) {
+                            self.emit(Event::KdsDegradedEnter { message: e.to_string() });
+                        }
+                        self.check_failovers();
                     }
                     return Err(e);
                 }
@@ -266,6 +307,13 @@ impl DekResolver {
 
     /// Requests a fresh DEK from the KDS (one per new file) and caches it.
     pub fn new_dek(&self) -> Result<Dek, ResolverError> {
+        let t = perf::timer();
+        let result = self.new_dek_inner();
+        perf::add_elapsed(PerfMetric::DekResolve, t);
+        result
+    }
+
+    fn new_dek_inner(&self) -> Result<Dek, ResolverError> {
         let dek = self.with_retries(|| self.kds.generate_dek(self.server, self.algorithm))?;
         self.generated.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
@@ -281,6 +329,13 @@ impl DekResolver {
     /// KDS outage — and only uncached ids propagate
     /// [`KdsError::Unavailable`].
     pub fn resolve(&self, id: DekId) -> Result<Dek, ResolverError> {
+        let t = perf::timer();
+        let result = self.resolve_inner(id);
+        perf::add_elapsed(PerfMetric::DekResolve, t);
+        result
+    }
+
+    fn resolve_inner(&self, id: DekId) -> Result<Dek, ResolverError> {
         if let Some(cache) = &self.cache {
             if let Some(dek) = cache.get(id) {
                 self.hits.fetch_add(1, Ordering::Relaxed);

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use shield_core::{perf, Event, EventDispatcher, InfoLog, LogConfig, PerfContext, PerfGuard, PerfMetric};
 use shield_env::{Env, FileKind};
 
 use crate::cache::BlockCache;
@@ -21,7 +22,9 @@ use crate::compaction::{
     pick_compaction, run_compaction, CompactionContext, CompactionTask,
 };
 use crate::db::batch::WriteBatch;
+use crate::db::metrics::{LevelStats, MetricsReport, OpHistograms};
 use crate::db::options::{Options, ReadOptions, WriteOptions};
+use crate::obs::{EnvLogSink, LOG_FILE_NAME};
 use crate::error::{Error, Result, Severity};
 use crate::iter::{InternalIterator, MergingIterator};
 use crate::memtable::{LookupResult, MemTable};
@@ -83,6 +86,10 @@ struct DbInner {
     last_published: AtomicU64,
     shutting_down: AtomicBool,
     job_tx: Mutex<Option<Sender<Job>>>,
+    /// In-engine per-op latency histograms (see `Db::metrics_report`).
+    op_hists: OpHistograms,
+    /// Fan-out for engine events; the `LOG` file is one of its listeners.
+    events: Arc<EventDispatcher>,
 }
 
 /// An LSM-KVS instance.
@@ -103,13 +110,33 @@ impl Db {
         let env = opts.env.clone();
         env.create_dir_all(path)?;
         let stats = opts.statistics.clone();
+
+        // Event plumbing first, so recovery and the env itself can report.
+        let events = Arc::new(EventDispatcher::new());
+        for listener in &opts.event_listeners {
+            events.add(listener.clone());
+        }
+        let log_config = opts.info_log.unwrap_or_else(|| {
+            std::env::var("SHIELD_LOG")
+                .map(|v| LogConfig::from_env_str(&v))
+                .unwrap_or(LogConfig { level: Some(shield_core::LogLevel::Info), json: false })
+        });
+        if let Some(min_level) = log_config.level {
+            let log_path = shield_env::join_path(path, LOG_FILE_NAME);
+            let sink = EnvLogSink::create(env.as_ref(), &log_path)?;
+            events.add(Arc::new(InfoLog::new(Box::new(sink), min_level, log_config.json)));
+        }
+        // Faults injected by a wrapping fault env surface in the same LOG.
+        env.set_event_listener(events.clone());
+
         let block_cache =
             (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
-        let table_cache = TableCache::new(
+        let table_cache = TableCache::new_with_stats(
             env.clone(),
             path.to_string(),
             opts.encryption.clone(),
             block_cache.clone(),
+            Some(stats.clone()),
             opts.max_open_files,
         );
         let mut versions = VersionSet::new(
@@ -157,10 +184,12 @@ impl Db {
             last_published: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             job_tx: Mutex::new(None),
+            op_hists: OpHistograms::default(),
+            events,
             opts,
         });
 
-        inner.recover_wals()?;
+        let recovered_wals = inner.recover_wals()?;
 
         // Fresh WAL for new writes.
         {
@@ -199,6 +228,9 @@ impl Db {
             let mut state = inner.state.lock();
             inner.maybe_schedule(&mut state);
         }
+        inner
+            .events
+            .emit(&Event::DbOpen { path: path.to_string(), recovered_wals });
         Ok(Db { inner, threads, crash_on_drop: false })
     }
 
@@ -226,6 +258,8 @@ impl Db {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return Err(Error::Shutdown);
         }
+        let op_start = std::time::Instant::now();
+        let single_op = batch.count() == 1;
         let slot = Arc::new(Mutex::new(None));
         self.inner.commit_queue.lock().push(Pending {
             batch,
@@ -236,6 +270,7 @@ impl Db {
         if let Some(result) = slot.lock().take() {
             // An earlier leader committed us while we waited.
             drop(leader_guard);
+            self.record_write_latency(single_op, op_start);
             return result;
         }
         let group: Vec<Pending> = std::mem::take(&mut *self.inner.commit_queue.lock());
@@ -245,11 +280,30 @@ impl Db {
             *p.slot.lock() = Some(result.clone());
         }
         drop(leader_guard);
+        self.record_write_latency(single_op, op_start);
         result
+    }
+
+    /// Each writer records its own wall time (queue wait included):
+    /// single-op batches land in the `put` histogram, larger ones in
+    /// `write_batch`.
+    fn record_write_latency(&self, single_op: bool, op_start: std::time::Instant) {
+        if single_op {
+            self.inner.op_hists.put.record_elapsed(op_start);
+        } else {
+            self.inner.op_hists.write_batch.record_elapsed(op_start);
+        }
     }
 
     /// Point lookup at the latest state (or the snapshot in `ropts`).
     pub fn get(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let op_start = std::time::Instant::now();
+        let result = self.get_impl(ropts, key);
+        self.inner.op_hists.get.record_elapsed(op_start);
+        result
+    }
+
+    fn get_impl(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
         let seq = ropts
             .snapshot_seq
@@ -258,23 +312,33 @@ impl Db {
             let state = self.inner.state.lock();
             (state.mem.clone(), state.imm.clone(), state.versions.current())
         };
+        let t = perf::timer();
+        let mut memtable_hit: Option<Option<Vec<u8>>> = None;
         match mem.get(key, seq) {
-            LookupResult::Found(v) => {
-                self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(v));
-            }
-            LookupResult::Deleted => return Ok(None),
-            LookupResult::NotFound => {}
-        }
-        for imm in imms.iter().rev() {
-            match imm.get(key, seq) {
-                LookupResult::Found(v) => {
-                    self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Some(v));
+            LookupResult::Found(v) => memtable_hit = Some(Some(v)),
+            LookupResult::Deleted => memtable_hit = Some(None),
+            LookupResult::NotFound => {
+                for imm in imms.iter().rev() {
+                    match imm.get(key, seq) {
+                        LookupResult::Found(v) => {
+                            memtable_hit = Some(Some(v));
+                            break;
+                        }
+                        LookupResult::Deleted => {
+                            memtable_hit = Some(None);
+                            break;
+                        }
+                        LookupResult::NotFound => {}
+                    }
                 }
-                LookupResult::Deleted => return Ok(None),
-                LookupResult::NotFound => {}
             }
+        }
+        perf::add_elapsed(PerfMetric::MemtableLookup, t);
+        if let Some(hit) = memtable_hit {
+            if hit.is_some() {
+                self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(hit);
         }
         match version.get(&self.inner.table_cache, key, seq)? {
             GetResult::Found(v) => {
@@ -316,6 +380,7 @@ impl Db {
             merged: MergingIterator::new(children),
             seq,
             current: None,
+            db: self.inner.clone(),
             _pins: (mem, imms),
         })
     }
@@ -379,7 +444,7 @@ impl Db {
     }
 
     /// Engine counters. Gauge-style mirrors (fault-injection counts from
-    /// the env) are refreshed on each call.
+    /// the env, block-cache hit/miss totals) are refreshed on each call.
     #[must_use]
     pub fn statistics(&self) -> Arc<Statistics> {
         if let Some(faults) = self.inner.env.fault_stats() {
@@ -388,7 +453,61 @@ impl Db {
                 .env_faults_injected
                 .store(faults.injected_total(), Ordering::Relaxed);
         }
+        let (hits, misses) = self.cache_hit_miss();
+        self.inner.stats.block_cache_hits.store(hits, Ordering::Relaxed);
+        self.inner.stats.block_cache_misses.store(misses, Ordering::Relaxed);
         self.inner.stats.clone()
+    }
+
+    /// The engine's event dispatcher. Listeners added here (or via
+    /// [`Options::event_listeners`]) receive every [`Event`]; the `LOG`
+    /// file in the DB directory is itself one such listener.
+    #[must_use]
+    pub fn events(&self) -> Arc<EventDispatcher> {
+        self.inner.events.clone()
+    }
+
+    /// Runs `f` with this thread's [`PerfContext`] enabled and returns
+    /// `f`'s result together with the timing breakdown it accumulated.
+    ///
+    /// ```ignore
+    /// let (value, perf) = db.with_perf_context(|db| db.get(&ropts, b"k"));
+    /// assert!(perf.block_read_nanos + perf.block_decrypt_nanos <= wall_nanos);
+    /// ```
+    pub fn with_perf_context<R>(&self, f: impl FnOnce(&Self) -> R) -> (R, PerfContext) {
+        let guard = PerfGuard::enable();
+        let result = f(self);
+        let ctx = perf::current();
+        drop(guard);
+        (result, ctx)
+    }
+
+    /// One structured report of everything the engine measures: per-level
+    /// shape, write/read amplification, per-op latency quantiles, and all
+    /// tickers. See [`MetricsReport::to_json`] for the stable schema.
+    #[must_use]
+    pub fn metrics_report(&self) -> MetricsReport {
+        let stats = self.statistics(); // refreshes gauge mirrors
+        let snap = stats.snapshot();
+        let per_level = self.level_summary();
+        let levels: Vec<LevelStats> = per_level
+            .iter()
+            .enumerate()
+            .filter(|(l, (files, _))| *l == 0 || *files > 0)
+            .map(|(l, &(files, bytes))| LevelStats { level: l, files, bytes })
+            .collect();
+        let bytes_to_storage = snap.flush_bytes + snap.compaction_bytes_written;
+        let write_amplification = bytes_to_storage as f64 / (snap.wal_bytes.max(1)) as f64;
+        let l0_files = per_level.first().map_or(0, |&(f, _)| f as u64);
+        let deeper_nonempty =
+            per_level.iter().skip(1).filter(|&&(files, _)| files > 0).count() as u64;
+        MetricsReport {
+            levels,
+            write_amplification,
+            read_amplification: l0_files + deeper_nonempty,
+            latencies: self.inner.op_hists.summaries(),
+            tickers: snap,
+        }
     }
 
     /// Clears a recoverable background error and re-drives the pending
@@ -420,6 +539,7 @@ impl Db {
             }
             state.bg_error = None;
             self.inner.stats.resumes.fetch_add(1, Ordering::Relaxed);
+            self.inner.events.emit(&Event::Resume);
             self.inner.maybe_schedule(&mut state);
         }
         self.inner.work_cv.notify_all();
@@ -522,6 +642,7 @@ impl Db {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        self.inner.events.emit(&Event::DbClose { path: self.inner.path.clone() });
     }
 }
 
@@ -587,7 +708,10 @@ impl DbInner {
             }
         }
         if wal_result.is_ok() {
-            combined.insert_into(&mem)?;
+            let t = perf::timer();
+            let insert_result = combined.insert_into(&mem);
+            perf::add_elapsed(PerfMetric::MemtableInsert, t);
+            insert_result?;
             self.last_published.store(base + count - 1, Ordering::Release);
             self.stats.writes.fetch_add(count, Ordering::Relaxed);
             self.stats.write_groups.fetch_add(1, Ordering::Relaxed);
@@ -622,6 +746,8 @@ impl DbInner {
                 // Gentle backpressure: sleep once outside the lock.
                 slowed_down = true;
                 self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                self.events
+                    .emit(&Event::WriteStall { reason: "l0_slowdown", l0_files: l0 as u64 });
                 let t0 = std::time::Instant::now();
                 parking_lot::MutexGuard::unlocked(state, || {
                     std::thread::sleep(std::time::Duration::from_millis(1));
@@ -644,6 +770,7 @@ impl DbInner {
                 // that no compaction can reduce (e.g. compaction disabled by
                 // configuration) must not stall forever.
                 self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
+                self.events.emit(&Event::WriteStall { reason: "stop", l0_files: l0 as u64 });
                 let t0 = std::time::Instant::now();
                 self.maybe_schedule(state);
                 self.work_cv.wait(state);
@@ -750,14 +877,20 @@ impl DbInner {
 
     /// Runs `f`, retrying soft (transient) failures with capped
     /// exponential backoff up to `max_background_retries` times. Hard and
-    /// unrecoverable errors are returned immediately.
-    fn with_bg_retries<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    /// unrecoverable errors are returned immediately. `job` labels the
+    /// retry/error events in the LOG.
+    fn with_bg_retries<T>(&self, job: &'static str, mut f: impl FnMut() -> Result<T>) -> Result<T> {
         let mut attempt: u32 = 0;
         loop {
             match f() {
                 Ok(v) => return Ok(v),
                 Err(e) if e.retryable() && attempt < self.opts.max_background_retries => {
                     self.stats.bg_retries.fetch_add(1, Ordering::Relaxed);
+                    self.events.emit(&Event::BackgroundRetry {
+                        job,
+                        attempt: u64::from(attempt + 1),
+                        message: e.to_string(),
+                    });
                     let backoff = self
                         .opts
                         .background_retry_backoff
@@ -771,9 +904,23 @@ impl DbInner {
         }
     }
 
+    /// Parks `e` as the sticky background error and reports it.
+    fn set_bg_error(&self, state: &mut State, job: &'static str, e: Error) {
+        self.events.emit(&Event::BackgroundError {
+            job,
+            severity: match e.severity() {
+                Severity::Soft => "soft",
+                Severity::Hard => "hard",
+                Severity::Unrecoverable => "unrecoverable",
+            },
+            message: e.to_string(),
+        });
+        state.bg_error = Some(e);
+    }
+
     fn background_flush(&self) {
         loop {
-            let (mem, number) = {
+            let (mem, number, immutables) = {
                 let mut state = self.state.lock();
                 let Some(mem) = state.imm.first().cloned() else {
                     state.flush_scheduled = false;
@@ -782,16 +929,20 @@ impl DbInner {
                 };
                 let number = state.versions.new_file_number();
                 state.pending_outputs.insert(number);
-                (mem, number)
+                (mem, number, state.imm.len() as u64)
             };
+            self.events.emit(&Event::FlushBegin { immutables });
+            let flush_start = std::time::Instant::now();
             let result = if mem.is_empty() {
                 Ok(None)
             } else {
                 // A fresh writable open truncates any partial output from
                 // the failed attempt, so retrying with the same file
                 // number is safe.
-                self.with_bg_retries(|| self.write_level0_table(&mem, number)).map(Some)
+                self.with_bg_retries("flush", || self.write_level0_table(&mem, number))
+                    .map(Some)
             };
+            self.op_hists.flush.record_elapsed(flush_start);
             let mut state = self.state.lock();
             state.pending_outputs.remove(&number);
             match result {
@@ -804,6 +955,8 @@ impl DbInner {
                         .map_or(state.wal_number, |m| m.wal_number());
                     let mut edit =
                         VersionEdit { log_number: Some(min_wal), ..VersionEdit::default() };
+                    let (out_number, out_bytes) =
+                        meta.as_ref().map_or((0, 0), |m| (m.number, m.file_size));
                     if let Some(meta) = meta {
                         edit.new_files.push((0, meta));
                     }
@@ -811,12 +964,17 @@ impl DbInner {
                         Ok(_) => {
                             state.imm.remove(0);
                             self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+                            self.events.emit(&Event::FlushEnd {
+                                file_number: out_number,
+                                bytes: out_bytes,
+                                micros: flush_start.elapsed().as_micros() as u64,
+                            });
                             self.delete_obsolete_files(&mut state);
                             self.maybe_schedule(&mut state);
                             self.work_cv.notify_all();
                         }
                         Err(e) => {
-                            state.bg_error = Some(e);
+                            self.set_bg_error(&mut state, "flush", e);
                             state.flush_scheduled = false;
                             self.work_cv.notify_all();
                             return;
@@ -824,7 +982,7 @@ impl DbInner {
                     }
                 }
                 Err(e) => {
-                    state.bg_error = Some(e);
+                    self.set_bg_error(&mut state, "flush", e);
                     state.flush_scheduled = false;
                     self.work_cv.notify_all();
                     return;
@@ -869,6 +1027,24 @@ impl DbInner {
             (task, version, smallest_snapshot)
         };
 
+        let (task_level, task_inputs, task_input_bytes) = match &task {
+            CompactionTask::Merge { input_level, inputs, overlaps, .. } => (
+                *input_level as u64,
+                (inputs.len() + overlaps.len()) as u64,
+                inputs.iter().chain(overlaps.iter()).map(|f| f.file_size).sum(),
+            ),
+            CompactionTask::FifoTrim { files } => (
+                0,
+                files.len() as u64,
+                files.iter().map(|f| f.file_size).sum(),
+            ),
+        };
+        self.events.emit(&Event::CompactionBegin {
+            level: task_level,
+            inputs: task_inputs,
+            input_bytes: task_input_bytes,
+        });
+
         let table_options = TableBuilderOptions {
             block_size: self.opts.block_size,
             restart_interval: self.opts.restart_interval,
@@ -886,7 +1062,7 @@ impl DbInner {
         // Soft failures (transient storage/network faults) are retried
         // here; each retry allocates fresh output numbers, and the env
         // truncates on reopen, so a half-written attempt is harmless.
-        let result = self.with_bg_retries(|| match &self.opts.compaction_executor {
+        let result = self.with_bg_retries("compaction", || match &self.opts.compaction_executor {
             Some(executor) => {
                 // Offloaded: the remote worker resolves DEKs itself from
                 // the DEK-IDs embedded in the file metadata (§5.4).
@@ -918,6 +1094,7 @@ impl DbInner {
         self.stats
             .compaction_micros
             .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.op_hists.compaction.record_elapsed(exec_start);
 
         let mut state = self.state.lock();
         match &task {
@@ -949,12 +1126,19 @@ impl DbInner {
                         self.stats
                             .sst_files_created
                             .fetch_add(outcome.outputs as u64, Ordering::Relaxed);
+                        self.events.emit(&Event::CompactionEnd {
+                            level: task_level,
+                            bytes_read: outcome.bytes_read,
+                            bytes_written: outcome.bytes_written,
+                            output_files: outcome.outputs as u64,
+                            micros: exec_start.elapsed().as_micros() as u64,
+                        });
                         self.delete_obsolete_files(&mut state);
                     }
-                    Err(e) => state.bg_error = Some(e),
+                    Err(e) => self.set_bg_error(&mut state, "compaction", e),
                 }
             }
-            Err(e) => state.bg_error = Some(e),
+            Err(e) => self.set_bg_error(&mut state, "compaction", e),
         }
         state.compaction_scheduled = false;
         self.maybe_schedule(&mut state);
@@ -1015,8 +1199,9 @@ impl DbInner {
     }
 
     /// Replays WAL segments newer than the manifest's log number into a
-    /// recovery memtable, flushing it to L0.
-    fn recover_wals(self: &Arc<Self>) -> Result<()> {
+    /// recovery memtable, flushing it to L0. Returns the number of WAL
+    /// segments replayed.
+    fn recover_wals(self: &Arc<Self>) -> Result<u64> {
         let names = self.env.list_dir(&self.path)?;
         let mut wals: Vec<u64> = names
             .iter()
@@ -1032,7 +1217,9 @@ impl DbInner {
         };
 
         let mem = Arc::new(MemTable::new(0));
+        let mut replayed = 0u64;
         for number in wals.into_iter().filter(|n| *n >= min_log) {
+            replayed += 1;
             let path = shield_env::join_path(&self.path, &wal_file_name(number));
             let file = match &self.opts.encryption {
                 Some(cfg) => cfg.open_sequential(self.env.as_ref(), &path, FileKind::Wal)?,
@@ -1059,7 +1246,7 @@ impl DbInner {
             };
             state.versions.log_and_apply(edit)?;
         }
-        Ok(())
+        Ok(replayed)
     }
 }
 
@@ -1108,6 +1295,8 @@ pub struct DbIterator {
     merged: MergingIterator,
     seq: SequenceNumber,
     current: Option<(Vec<u8>, Vec<u8>)>,
+    /// For the `iter_next` latency histogram.
+    db: Arc<DbInner>,
     /// Keeps memtables alive while the iterator exists.
     _pins: (Arc<MemTable>, Vec<Arc<MemTable>>),
 }
@@ -1145,8 +1334,10 @@ impl DbIterator {
 
     /// Advances to the next live key.
     pub fn next(&mut self) {
+        let op_start = std::time::Instant::now();
         let skip = self.current.take().map(|(k, _)| k);
         self.advance_to_visible(skip);
+        self.db.op_hists.iter_next.record_elapsed(op_start);
     }
 
     /// Skips invisible/shadowed/deleted entries. `skip_key` is a user key
@@ -1202,6 +1393,71 @@ mod tests {
 
     fn r() -> ReadOptions {
         ReadOptions::new()
+    }
+
+    #[test]
+    fn log_file_records_lifecycle_events() {
+        let env = MemEnv::new();
+        let mut opts = Options::new(Arc::new(env.clone()));
+        opts.info_log = Some(LogConfig { level: Some(shield_core::LogLevel::Info), json: false });
+        let db = Db::open(opts, "db").unwrap();
+        db.put(&w(), b"k", b"v").unwrap();
+        db.flush().unwrap();
+        drop(db);
+        let raw = shield_env::read_file_to_vec(&env, "db/LOG", FileKind::Other).unwrap();
+        let log = String::from_utf8(raw).unwrap();
+        for needle in ["db_open", "flush_begin", "flush_end", "db_close"] {
+            assert!(log.contains(needle), "LOG missing {needle}:\n{log}");
+        }
+        let begins = log.matches("flush_begin").count();
+        let ends = log.matches("flush_end").count();
+        assert_eq!(begins, ends, "unpaired flush events:\n{log}");
+    }
+
+    #[test]
+    fn listeners_and_metrics_report() {
+        struct Capture(Mutex<Vec<&'static str>>);
+        impl shield_core::EventListener for Capture {
+            fn on_event(&self, e: &Event) {
+                self.0.lock().push(e.name());
+            }
+        }
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        let env = MemEnv::new();
+        let mut opts = Options::new(Arc::new(env)).with_event_listener(capture.clone());
+        opts.info_log = Some(LogConfig::default()); // no LOG file
+        let db = Db::open(opts, "db").unwrap();
+        for i in 0..200u32 {
+            db.put(&w(), format!("k{i:03}").as_bytes(), &[1u8; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        {
+            let names = capture.0.lock();
+            assert!(names.contains(&"db_open"));
+            assert!(names.contains(&"flush_begin"));
+            assert!(names.contains(&"flush_end"));
+        }
+        let report = db.metrics_report();
+        assert!(report.levels[0].files >= 1);
+        let put = report
+            .latencies
+            .iter()
+            .find(|(op, _)| *op == "put")
+            .map(|(_, s)| s)
+            .unwrap();
+        assert_eq!(put.count, 200);
+        assert!(put.p99_us >= put.p50_us);
+        let flush = report
+            .latencies
+            .iter()
+            .find(|(op, _)| *op == "flush")
+            .map(|(_, s)| s)
+            .unwrap();
+        assert!(flush.count >= 1);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"shield_metrics_v1\""));
+        assert!(json.contains("\"tickers\":{\"writes\":200"));
+        assert!(report.write_amplification > 0.0);
     }
 
     #[test]

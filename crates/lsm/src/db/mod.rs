@@ -3,8 +3,10 @@
 pub mod batch;
 #[allow(clippy::module_inception)]
 pub mod db;
+pub mod metrics;
 pub mod options;
 
 pub use batch::WriteBatch;
 pub use db::{Db, DbIterator, Snapshot};
+pub use metrics::{LevelStats, MetricsReport, METRICS_SCHEMA, OP_TYPES};
 pub use options::{Options, ReadOptions, WriteOptions};

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use shield_core::{EventListener, LogConfig};
 use shield_env::Env;
 
 pub use crate::compaction::CompactionStyle;
@@ -64,6 +65,16 @@ pub struct Options {
     pub background_retry_max_backoff: std::time::Duration,
     /// Shared engine counters.
     pub statistics: Arc<Statistics>,
+    /// Listeners notified of engine events (flushes, compactions, stalls,
+    /// background errors, KDS transitions, fault injections). The DB's
+    /// `LOG` file is an implicit listener configured by
+    /// [`Options::info_log`].
+    pub event_listeners: Vec<Arc<dyn EventListener>>,
+    /// Level filter / format for the `LOG` file written into the DB
+    /// directory. `None` (the default) reads the `SHIELD_LOG` env var at
+    /// open (e.g. `SHIELD_LOG=debug,json`); an unset var means `info`,
+    /// and `SHIELD_LOG=off` disables the file entirely.
+    pub info_log: Option<LogConfig>,
 }
 
 impl Options {
@@ -93,6 +104,8 @@ impl Options {
             background_retry_backoff: std::time::Duration::from_millis(1),
             background_retry_max_backoff: std::time::Duration::from_millis(100),
             statistics: Statistics::new(),
+            event_listeners: Vec::new(),
+            info_log: None,
         }
     }
 
@@ -121,6 +134,20 @@ impl Options {
     #[must_use]
     pub fn with_background_jobs(mut self, jobs: usize) -> Self {
         self.max_background_jobs = jobs.max(1);
+        self
+    }
+
+    /// Registers an [`EventListener`] notified of every engine event.
+    #[must_use]
+    pub fn with_event_listener(mut self, listener: Arc<dyn EventListener>) -> Self {
+        self.event_listeners.push(listener);
+        self
+    }
+
+    /// Pins the `LOG` file configuration instead of reading `SHIELD_LOG`.
+    #[must_use]
+    pub fn with_info_log(mut self, config: LogConfig) -> Self {
+        self.info_log = Some(config);
         self
     }
 }

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use shield_core::{perf, PerfCounter, PerfMetric};
 use shield_crypto::{Algorithm, CipherContext, Dek, DekId, NONCE_LEN};
 use shield_env::{Env, EnvResult, FileKind, RandomAccessFile, SequentialFile, WritableFile};
 use shield_kds::DekResolver;
@@ -207,6 +208,7 @@ impl EncryptionConfig {
             Some(header) => {
                 let dek = self.resolver.resolve(header.dek_id)?;
                 self.inits.fetch_add(1, Ordering::Relaxed);
+                perf::incr(PerfCounter::CipherInits, 1);
                 let ctx = CipherContext::new(&dek, &header.nonce);
                 Ok(Arc::new(EncryptedRandomAccessFile { inner, ctx }))
             }
@@ -239,6 +241,7 @@ impl EncryptionConfig {
             Some(header) => {
                 let dek = self.resolver.resolve(header.dek_id)?;
                 self.inits.fetch_add(1, Ordering::Relaxed);
+                perf::incr(PerfCounter::CipherInits, 1);
                 let ctx = CipherContext::new(&dek, &header.nonce);
                 Ok(Box::new(EncryptedSequentialFile { inner, ctx, offset: 0 }))
             }
@@ -341,8 +344,13 @@ impl EncryptedWritableFile {
         if data.is_empty() {
             return;
         }
+        // PerfContext: the whole chunked encryption is charged to the
+        // calling thread (worker threads have their own, disabled,
+        // context), as are all chunk cipher inits.
+        let t = perf::timer();
         let chunk = self.chunk_size;
         let n_chunks = data.len().div_ceil(chunk.min(data.len().max(1)));
+        perf::incr(PerfCounter::CipherInits, n_chunks as u64);
         if self.threads <= 1 || n_chunks <= 1 {
             let mut pos = 0usize;
             while pos < data.len() {
@@ -388,6 +396,7 @@ impl EncryptedWritableFile {
                 }
             });
         }
+        perf::add_elapsed(PerfMetric::BlockEncrypt, t);
     }
 
     /// Encrypts and appends everything in the buffer.
@@ -471,7 +480,11 @@ impl RandomAccessFile for EncryptedRandomAccessFile {
     fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
         let raw = self.inner.read_at(offset + FILE_HEADER_LEN as u64, len)?;
         let mut data = raw.to_vec();
+        // block_read was charged by the inner (leaf) read above; only the
+        // keystream XOR is block_decrypt, so the two never overlap.
+        let t = perf::timer();
         self.ctx.decrypt_at(offset, &mut data);
+        perf::add_elapsed(PerfMetric::BlockDecrypt, t);
         Ok(Bytes::from(data))
     }
 
@@ -489,7 +502,9 @@ struct EncryptedSequentialFile {
 impl SequentialFile for EncryptedSequentialFile {
     fn read(&mut self, buf: &mut [u8]) -> EnvResult<usize> {
         let n = self.inner.read(buf)?;
+        let t = perf::timer();
         self.ctx.decrypt_at(self.offset, &mut buf[..n]);
+        perf::add_elapsed(PerfMetric::BlockDecrypt, t);
         self.offset += n as u64;
         Ok(n)
     }

@@ -31,6 +31,7 @@ pub mod encryption;
 pub mod error;
 pub mod iter;
 pub mod memtable;
+pub mod obs;
 pub mod sst;
 pub mod statistics;
 pub mod types;
@@ -38,9 +39,16 @@ pub mod varint;
 pub mod version;
 pub mod wal;
 
+pub use db::metrics::{LevelStats, MetricsReport, METRICS_SCHEMA, OP_TYPES};
 pub use db::options::{CompactionStyle, Options, ReadOptions, WriteOptions};
 pub use db::{Db, DbIterator, Snapshot, WriteBatch};
 pub use encryption::EncryptionConfig;
 pub use error::{Error, Result, Severity};
+// Observability vocabulary, re-exported from the dependency-free
+// `shield-core` crate so embedders need only one `use shield_lsm::...`.
+pub use shield_core::{
+    Event, EventDispatcher, EventListener, Histogram, HistogramSummary, InfoLog, LogConfig,
+    LogLevel, PerfContext, PerfGuard,
+};
 pub use statistics::{Statistics, StatsSnapshot};
 pub use types::{SequenceNumber, ValueType};

@@ -1,0 +1,63 @@
+//! Engine-side observability wiring.
+//!
+//! The observability *types* (PerfContext, events, histograms) live in
+//! the dependency-free `shield-core` crate so every layer can use them;
+//! this module holds what needs the engine's own abstractions — chiefly
+//! [`EnvLogSink`], which lands the rendered `LOG` lines in the DB
+//! directory through whatever [`Env`] the DB runs on (local FS,
+//! in-memory, remote), the same way RocksDB writes its `LOG` file.
+//!
+//! The `LOG` file name is deliberately opaque to
+//! [`crate::version::filenames::parse_file_name`], so obsolete-file GC
+//! and WAL recovery both skip it.
+
+use parking_lot::Mutex;
+use shield_core::LogSink;
+use shield_env::{Env, EnvResult, FileKind, WritableFile};
+
+/// File name of the engine event log inside the DB directory.
+pub const LOG_FILE_NAME: &str = "LOG";
+
+/// A [`LogSink`] appending newline-terminated lines to an [`Env`] file.
+///
+/// Lines are flushed (not synced) per write: the log must be promptly
+/// visible to readers but never add an fsync to engine paths. Sink I/O
+/// errors are swallowed — logging must never fail an operation.
+pub struct EnvLogSink {
+    file: Mutex<Box<dyn WritableFile>>,
+}
+
+impl EnvLogSink {
+    /// Creates (truncating) `path` on `env`. The engine reopens — and
+    /// thus truncates — the log on every `Db::open`.
+    pub fn create(env: &dyn Env, path: &str) -> EnvResult<EnvLogSink> {
+        let file = env.new_writable_file(path, FileKind::Other)?;
+        Ok(EnvLogSink { file: Mutex::new(file) })
+    }
+}
+
+impl LogSink for EnvLogSink {
+    fn write_line(&self, line: &str) {
+        let mut f = self.file.lock();
+        let _ = f.append(line.as_bytes());
+        let _ = f.append(b"\n");
+        let _ = f.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shield_env::MemEnv;
+
+    #[test]
+    fn writes_lines_through_env() {
+        let env = MemEnv::new();
+        let sink = EnvLogSink::create(&env, "LOG").unwrap();
+        sink.write_line("alpha");
+        sink.write_line("beta");
+        drop(sink);
+        let data = shield_env::read_file_to_vec(&env, "LOG", FileKind::Other).unwrap();
+        assert_eq!(String::from_utf8(data).unwrap(), "alpha\nbeta\n");
+    }
+}

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use shield_core::{perf, PerfCounter, PerfMetric};
 use shield_crypto::{crc32c, crc32c_extend, crc32c_unmask};
 use shield_env::RandomAccessFile;
 
@@ -23,6 +24,8 @@ pub struct Table {
     filter: Option<BloomFilterReader>,
     props: TableProperties,
     cache: Option<Arc<BlockCache>>,
+    /// Engine tickers (bloom_useful); `None` for standalone tables.
+    stats: Option<Arc<crate::statistics::Statistics>>,
 }
 
 impl Table {
@@ -32,6 +35,17 @@ impl Table {
         file: Arc<dyn RandomAccessFile>,
         table_id: u64,
         cache: Option<Arc<BlockCache>>,
+    ) -> Result<Table> {
+        Self::open_with_stats(file, table_id, cache, None)
+    }
+
+    /// [`Table::open`] with an engine ticker sink, so bloom-filter
+    /// negatives are credited to `bloom_useful`.
+    pub fn open_with_stats(
+        file: Arc<dyn RandomAccessFile>,
+        table_id: u64,
+        cache: Option<Arc<BlockCache>>,
+        stats: Option<Arc<crate::statistics::Statistics>>,
     ) -> Result<Table> {
         let len = file.len()?;
         if (len as usize) < FOOTER_LEN {
@@ -49,7 +63,7 @@ impl Table {
         };
         let props_raw = read_verified_block(file.as_ref(), footer.properties)?;
         let props = TableProperties::decode(&props_raw)?;
-        Ok(Table { file, table_id, index, filter, props, cache })
+        Ok(Table { file, table_id, index, filter, props, cache, stats })
     }
 
     /// Table-level metadata.
@@ -68,7 +82,10 @@ impl Table {
     fn data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
         if let Some(cache) = &self.cache {
             let key = (self.table_id, handle.offset);
-            if let Some(block) = cache.get(&key) {
+            let t = perf::timer();
+            let cached = cache.get(&key);
+            perf::add_elapsed(PerfMetric::CacheLookup, t);
+            if let Some(block) = cached {
                 return Ok(block);
             }
             let raw = read_verified_block(self.file.as_ref(), handle)?;
@@ -89,7 +106,11 @@ impl Table {
         seq: SequenceNumber,
     ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         if let Some(filter) = &self.filter {
+            perf::incr(PerfCounter::BloomProbes, 1);
             if !filter.may_contain(user_key) {
+                if let Some(stats) = &self.stats {
+                    stats.bloom_useful.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
                 return Ok(None);
             }
         }
@@ -141,6 +162,7 @@ impl Table {
 
 /// Reads a block and verifies its trailer CRC.
 fn read_verified_block(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Bytes> {
+    perf::incr(PerfCounter::BlocksRead, 1);
     let total = handle.size as usize + BLOCK_TRAILER_LEN;
     let raw = file.read_at(handle.offset, total)?;
     if raw.len() < total {

@@ -1,105 +1,142 @@
 //! Engine-level counters used by the evaluation harness (throughput
 //! breakdowns, Table 3 I/O attribution, DEK accounting).
+//!
+//! Tickers come in two kinds and the `tickers!` macro keeps them in
+//! distinct sections, because they have different delta semantics:
+//!
+//! - **counters** are monotonic and owned by the engine; the difference
+//!   of two snapshots ([`StatsSnapshot::delta_since`]) is the activity
+//!   in the interval.
+//! - **gauges** are point-in-time values mirrored from other subsystems
+//!   (fault-injection env, DEK resolver) when a snapshot is taken;
+//!   subtracting them is meaningless, so `delta_since` carries the later
+//!   snapshot's value through unchanged.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 macro_rules! tickers {
-    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
-        /// Monotonic engine counters.
+    (
+        counters { $($(#[$cdoc:meta])* $cname:ident),* $(,)? }
+        gauges { $($(#[$gdoc:meta])* $gname:ident),* $(,)? }
+    ) => {
+        /// Engine tickers: monotonic counters plus mirrored gauges.
         #[derive(Default)]
         pub struct Statistics {
-            $($(#[$doc])* pub $name: AtomicU64,)*
+            $($(#[$cdoc])* pub $cname: AtomicU64,)*
+            $($(#[$gdoc])* pub $gname: AtomicU64,)*
         }
 
         /// A point-in-time copy of [`Statistics`].
         #[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
         pub struct StatsSnapshot {
-            $($(#[$doc])* pub $name: u64,)*
+            $($(#[$cdoc])* pub $cname: u64,)*
+            $($(#[$gdoc])* pub $gname: u64,)*
         }
 
         impl Statistics {
-            /// Creates a zeroed, shareable counter set.
+            /// Creates a zeroed, shareable ticker set.
             #[must_use]
             pub fn new() -> Arc<Self> {
                 Arc::new(Self::default())
             }
 
-            /// Copies all counters.
+            /// Copies all tickers.
             #[must_use]
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
-                    $($name: self.$name.load(Ordering::Relaxed),)*
+                    $($cname: self.$cname.load(Ordering::Relaxed),)*
+                    $($gname: self.$gname.load(Ordering::Relaxed),)*
                 }
             }
         }
 
         impl StatsSnapshot {
-            /// Difference `self - earlier` per counter (saturating).
+            /// Interval view: monotonic counters become `self - earlier`
+            /// (saturating); gauges keep `self`'s point-in-time value.
             #[must_use]
             pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
-                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                    $($cname: self.$cname.saturating_sub(earlier.$cname),)*
+                    $($gname: self.$gname,)*
                 }
+            }
+
+            /// All monotonic counters as `(name, value)` pairs, in
+            /// declaration order (the stable JSON key order).
+            #[must_use]
+            pub fn counters(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($cname), self.$cname),)*]
+            }
+
+            /// All gauges as `(name, value)` pairs, in declaration order.
+            #[must_use]
+            pub fn gauges(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($gname), self.$gname),)*]
             }
         }
     };
 }
 
 tickers! {
-    /// Write operations applied (entries, not batches).
-    writes,
-    /// Batches committed through the group-commit leader.
-    write_groups,
-    /// Bytes appended to the WAL (plaintext size).
-    wal_bytes,
-    /// WAL sync/flush calls.
-    wal_syncs,
-    /// Point lookups served.
-    gets,
-    /// Point lookups that found a value.
-    gets_found,
-    /// Memtable flushes completed.
-    flushes,
-    /// Bytes written by flushes.
-    flush_bytes,
-    /// Compactions completed.
-    compactions,
-    /// Microseconds spent executing compactions.
-    compaction_micros,
-    /// Bytes read by compaction inputs.
-    compaction_bytes_read,
-    /// Bytes written by compaction outputs.
-    compaction_bytes_written,
-    /// SST files created (flush + compaction).
-    sst_files_created,
-    /// SST files deleted (obsolete after compaction).
-    sst_files_deleted,
-    /// Block-cache hits.
-    block_cache_hits,
-    /// Block-cache misses.
-    block_cache_misses,
-    /// Bloom-filter negative hits (reads avoided).
-    bloom_useful,
-    /// Write stalls triggered by L0/immutable backpressure.
-    write_stalls,
-    /// Microseconds writers spent stalled.
-    stall_micros,
-    /// Soft background-job failures retried with backoff.
-    bg_retries,
-    /// Recoverable background errors cleared by [`crate::Db::resume`].
-    resumes,
-    /// Storage faults injected by a fault-injection env, mirrored from
-    /// [`shield_env::Env::fault_stats`] (a gauge, refreshed on snapshot).
-    env_faults_injected,
-    /// DEK-resolver retry attempts, mirrored from the resolver when
-    /// running in SHIELD mode (a gauge).
-    resolver_retries,
-    /// KDS replica failovers, mirrored from the resolver (a gauge).
-    resolver_failovers,
-    /// DEK resolutions served from cache while the KDS was unreachable,
-    /// mirrored from the resolver (a gauge).
-    resolver_degraded_hits,
+    counters {
+        /// Write operations applied (entries, not batches).
+        writes,
+        /// Batches committed through the group-commit leader.
+        write_groups,
+        /// Bytes appended to the WAL (plaintext size).
+        wal_bytes,
+        /// WAL sync/flush calls.
+        wal_syncs,
+        /// Point lookups served.
+        gets,
+        /// Point lookups that found a value.
+        gets_found,
+        /// Memtable flushes completed.
+        flushes,
+        /// Bytes written by flushes.
+        flush_bytes,
+        /// Compactions completed.
+        compactions,
+        /// Microseconds spent executing compactions.
+        compaction_micros,
+        /// Bytes read by compaction inputs.
+        compaction_bytes_read,
+        /// Bytes written by compaction outputs.
+        compaction_bytes_written,
+        /// SST files created (flush + compaction).
+        sst_files_created,
+        /// SST files deleted (obsolete after compaction).
+        sst_files_deleted,
+        /// Bloom-filter negative hits (reads avoided).
+        bloom_useful,
+        /// Write stalls triggered by L0/immutable backpressure.
+        write_stalls,
+        /// Microseconds writers spent stalled.
+        stall_micros,
+        /// Soft background-job failures retried with backoff.
+        bg_retries,
+        /// Recoverable background errors cleared by [`crate::Db::resume`].
+        resumes,
+    }
+    gauges {
+        /// Block-cache lifetime hits, mirrored from the cache when
+        /// [`crate::Db::statistics`] refreshes.
+        block_cache_hits,
+        /// Block-cache lifetime misses, mirrored from the cache.
+        block_cache_misses,
+        /// Storage faults injected by a fault-injection env, mirrored from
+        /// [`shield_env::Env::fault_stats`].
+        env_faults_injected,
+        /// DEK-resolver retry attempts, mirrored from the resolver when
+        /// running in SHIELD mode.
+        resolver_retries,
+        /// KDS replica failovers, mirrored from the resolver.
+        resolver_failovers,
+        /// DEK resolutions served from cache while the KDS was unreachable,
+        /// mirrored from the resolver.
+        resolver_degraded_hits,
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +155,41 @@ mod tests {
         assert_eq!(d.writes, 5);
         assert_eq!(d.gets, 2);
         assert_eq!(d.flushes, 0);
+    }
+
+    #[test]
+    fn delta_keeps_gauges_at_later_value() {
+        let s = Statistics::new();
+        // A gauge mirror set high before the first snapshot, lower after:
+        // the old all-counter delta would have saturated to 0 and hidden
+        // the live value; the gauge section must carry the later reading.
+        s.resolver_retries.store(7, Ordering::Relaxed);
+        s.env_faults_injected.store(100, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.resolver_retries.store(9, Ordering::Relaxed);
+        s.env_faults_injected.store(3, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.resolver_retries, 9, "gauge must not be differenced");
+        assert_eq!(d.env_faults_injected, 3, "gauge must not saturate to 0");
+        // Counters still difference.
+        assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn name_value_iteration_matches_fields() {
+        let s = Statistics::new();
+        s.writes.fetch_add(4, Ordering::Relaxed);
+        s.resolver_failovers.store(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        let counters = snap.counters();
+        let gauges = snap.gauges();
+        assert!(counters.iter().any(|&(n, v)| n == "writes" && v == 4));
+        assert!(gauges.iter().any(|&(n, v)| n == "resolver_failovers" && v == 2));
+        // No ticker appears in both sections.
+        for (n, _) in &counters {
+            assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");
+        }
+        assert_eq!(counters.len() + gauges.len(), 25);
     }
 }

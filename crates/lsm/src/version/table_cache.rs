@@ -27,6 +27,7 @@ pub struct TableCache {
     db_path: String,
     encryption: Option<EncryptionConfig>,
     block_cache: Option<Arc<BlockCache>>,
+    stats: Option<Arc<crate::statistics::Statistics>>,
     capacity: usize,
     inner: Mutex<Inner>,
 }
@@ -41,11 +42,26 @@ impl TableCache {
         block_cache: Option<Arc<BlockCache>>,
         capacity: usize,
     ) -> Arc<Self> {
+        Self::new_with_stats(env, db_path, encryption, block_cache, None, capacity)
+    }
+
+    /// [`TableCache::new`] with an engine ticker sink handed to every
+    /// opened [`Table`] (for `bloom_useful` accounting).
+    #[must_use]
+    pub fn new_with_stats(
+        env: Arc<dyn Env>,
+        db_path: String,
+        encryption: Option<EncryptionConfig>,
+        block_cache: Option<Arc<BlockCache>>,
+        stats: Option<Arc<crate::statistics::Statistics>>,
+        capacity: usize,
+    ) -> Arc<Self> {
         Arc::new(TableCache {
             env,
             db_path,
             encryption,
             block_cache,
+            stats,
             capacity: capacity.max(4),
             inner: Mutex::new(Inner { tables: HashMap::new(), tick: 0 }),
         })
@@ -68,7 +84,12 @@ impl TableCache {
             Some(cfg) => cfg.open_random(self.env.as_ref(), &path, FileKind::Sst)?,
             None => self.env.new_random_access_file(&path, FileKind::Sst)?,
         };
-        let table = Arc::new(Table::open(file, file_number, self.block_cache.clone())?);
+        let table = Arc::new(Table::open_with_stats(
+            file,
+            file_number,
+            self.block_cache.clone(),
+            self.stats.clone(),
+        )?);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;

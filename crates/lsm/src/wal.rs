@@ -42,6 +42,15 @@ impl LogWriter {
 
     /// Appends one record (atomically recoverable as a unit).
     pub fn add_record(&mut self, payload: &[u8]) -> Result<()> {
+        // PerfContext wal_append covers fragmenting + buffering (and, in
+        // SHIELD mode, the encryption wrapper's work inside `append`).
+        let t = shield_core::perf::timer();
+        let result = self.add_record_inner(payload);
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::WalAppend, t);
+        result
+    }
+
+    fn add_record_inner(&mut self, payload: &[u8]) -> Result<()> {
         let mut left = payload;
         let mut begin = true;
         loop {
@@ -92,13 +101,19 @@ impl LogWriter {
 
     /// Flushes buffered bytes towards the OS.
     pub fn flush(&mut self) -> Result<()> {
-        self.dest.flush()?;
+        let t = shield_core::perf::timer();
+        let result = self.dest.flush();
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::WalAppend, t);
+        result?;
         Ok(())
     }
 
     /// Makes the log durable.
     pub fn sync(&mut self) -> Result<()> {
-        self.dest.sync()?;
+        let t = shield_core::perf::timer();
+        let result = self.dest.sync();
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::WalSync, t);
+        result?;
         Ok(())
     }
 

@@ -1,0 +1,193 @@
+//! Minimal stable-JSON emission helpers (no serde in this workspace).
+//!
+//! [`JsonBuilder`] tracks nesting and comma placement so callers can
+//! emit a deterministic, schema-stable document field by field. Key
+//! order is exactly call order, which is what makes the schema stable
+//! for the `verify.sh` greps and the bench sidecars.
+
+use std::fmt::Write as _;
+
+/// Escape `s` as a JSON string, including the surrounding quotes.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Incremental JSON writer with automatic comma placement.
+///
+/// ```
+/// use shield_core::json::JsonBuilder;
+/// let mut j = JsonBuilder::new();
+/// j.open_obj_item();
+/// j.field_str("schema", "v1");
+/// j.open_arr("xs");
+/// j.item_u64(1);
+/// j.item_u64(2);
+/// j.close_arr();
+/// j.close_obj();
+/// assert_eq!(j.finish(), r#"{"schema":"v1","xs":[1,2]}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonBuilder {
+    out: String,
+    comma: Vec<bool>,
+}
+
+impl JsonBuilder {
+    pub fn new() -> JsonBuilder {
+        JsonBuilder::default()
+    }
+
+    fn item(&mut self) {
+        if let Some(c) = self.comma.last_mut() {
+            if *c {
+                self.out.push(',');
+            } else {
+                *c = true;
+            }
+        }
+    }
+
+    fn keyed(&mut self, key: &str) {
+        self.item();
+        self.out.push_str(&escaped(key));
+        self.out.push(':');
+    }
+
+    /// Open an object as an array element (or as the document root).
+    pub fn open_obj_item(&mut self) {
+        self.item();
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    /// Open an object-valued field.
+    pub fn open_obj(&mut self, key: &str) {
+        self.keyed(key);
+        self.out.push('{');
+        self.comma.push(false);
+    }
+
+    pub fn close_obj(&mut self) {
+        self.comma.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array-valued field.
+    pub fn open_arr(&mut self, key: &str) {
+        self.keyed(key);
+        self.out.push('[');
+        self.comma.push(false);
+    }
+
+    pub fn close_arr(&mut self) {
+        self.comma.pop();
+        self.out.push(']');
+    }
+
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.keyed(key);
+        let _ = write!(self.out, "{v}");
+    }
+
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.keyed(key);
+        if v.is_finite() {
+            let _ = write!(self.out, "{v:.3}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.keyed(key);
+        self.out.push_str(&escaped(v));
+    }
+
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.keyed(key);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emit a bare number as an array element.
+    pub fn item_u64(&mut self, v: u64) {
+        self.item();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emit pre-rendered JSON as an array element or field value; the
+    /// caller guarantees `raw` is valid JSON.
+    pub fn item_raw(&mut self, raw: &str) {
+        self.item();
+        self.out.push_str(raw);
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes() {
+        assert_eq!(escaped("a"), "\"a\"");
+        assert_eq!(escaped("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(escaped("x\ny"), "\"x\\ny\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn builds_nested_document() {
+        let mut j = JsonBuilder::new();
+        j.open_obj_item();
+        j.field_str("schema", "shield_metrics_v1");
+        j.field_u64("n", 3);
+        j.field_f64("amp", 1.5);
+        j.field_bool("ok", true);
+        j.open_arr("levels");
+        j.open_obj_item();
+        j.field_u64("level", 0);
+        j.close_obj();
+        j.open_obj_item();
+        j.field_u64("level", 1);
+        j.close_obj();
+        j.close_arr();
+        j.open_obj("tickers");
+        j.field_u64("writes", 10);
+        j.field_u64("gets", 20);
+        j.close_obj();
+        j.close_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"schema":"shield_metrics_v1","n":3,"amp":1.500,"ok":true,"levels":[{"level":0},{"level":1}],"tickers":{"writes":10,"gets":20}}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut j = JsonBuilder::new();
+        j.open_obj_item();
+        j.field_f64("x", f64::NAN);
+        j.field_f64("y", f64::INFINITY);
+        j.close_obj();
+        assert_eq!(j.finish(), r#"{"x":null,"y":null}"#);
+    }
+}

@@ -1,0 +1,28 @@
+//! `shield-core`: dependency-free observability primitives shared by
+//! every layer of the SHIELD reproduction.
+//!
+//! This crate sits at the bottom of the workspace graph (no deps, std
+//! only) so `shield-env`, `shield-kds`, `shield-lsm`, and `shield-bench`
+//! can all speak the same types:
+//!
+//! - [`hist`]: the log-bucketed latency [`Histogram`] (promoted from the
+//!   bench crate) plus a lock-free [`AtomicHistogram`] for in-engine
+//!   per-operation recording.
+//! - [`perf`]: the thread-local per-operation [`PerfContext`] timing
+//!   breakdown with a near-zero disabled path.
+//! - [`log`]: the typed engine [`Event`] catalog, [`EventListener`] /
+//!   [`EventDispatcher`] fan-out, and the [`InfoLog`] sink that renders
+//!   a RocksDB-style `LOG` file (level-filtered via `SHIELD_LOG`).
+//! - [`json`]: stable-JSON emission for metrics reports and sidecars.
+
+pub mod hist;
+pub mod json;
+pub mod log;
+pub mod perf;
+
+pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
+pub use json::JsonBuilder;
+pub use log::{
+    Event, EventDispatcher, EventListener, FieldValue, InfoLog, LogConfig, LogLevel, LogSink,
+};
+pub use perf::{PerfContext, PerfCounter, PerfGuard, PerfMetric};

@@ -7,11 +7,19 @@
 #           AES-CTR must stay ≥2x (ChaCha20 ≥1.5x) the scalar reference
 #           on 4 KiB payloads, refreshing BENCH_crypto.json
 #           (see DESIGN.md § perf kernels).
+#   tier 4: obs-smoke — observability gate: a small SHIELD workload must
+#           pair flush/compaction begin+end events in its LOG, the
+#           shield_metrics_v1 JSON must carry every stable key, and a
+#           *disabled* PerfContext timer pair must cost < 2% of one
+#           4 KiB chunk encryption (see DESIGN.md §4e), refreshing
+#           OBS_metrics.json.
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
 #           needless_range_loop over the crypto crate so hot loops stay
-#           iterator-shaped (skipped if clippy is unavailable).
+#           iterator-shaped, and clippy -D warnings over the
+#           observability crate shield-core so the zero-dep types stay
+#           clean (both skipped if clippy is unavailable).
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick skips the release build and the tiers that need it
@@ -49,6 +57,14 @@ if [[ $quick -eq 0 ]]; then
         echo "skipped (cargo clippy unavailable)"
     fi
 
+    echo "== lint: clippy gate (shield-core observability crate) =="
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy --release -q -p shield-core -- -D warnings
+        echo "ok"
+    else
+        echo "skipped (cargo clippy unavailable)"
+    fi
+
     echo "== tier 1a: release build =="
     cargo build --release
 fi
@@ -65,6 +81,16 @@ if [[ $quick -eq 0 ]]; then
     for key in batched_mib_s scalar_mib_s cipher_init_ns speedup_4096; do
         if ! grep -q "\"$key\"" BENCH_crypto.json; then
             echo "FAIL: BENCH_crypto.json missing key $key"
+            exit 1
+        fi
+    done
+    echo "ok"
+
+    echo "== tier 4: obs-smoke (event log + metrics + PerfContext gate) =="
+    cargo run --release -q -p shield-bench --bin obs_smoke -- --out OBS_metrics.json
+    for key in schema levels latencies_us tickers gauges; do
+        if ! grep -q "\"$key\"" OBS_metrics.json; then
+            echo "FAIL: OBS_metrics.json missing key $key"
             exit 1
         fi
     done
