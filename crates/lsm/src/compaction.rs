@@ -59,6 +59,9 @@ pub struct CompactionParams {
     pub fifo_max_bytes: u64,
     /// Cut compaction outputs at this size.
     pub target_file_size: u64,
+    /// Split each merge into up to this many disjoint key subranges and
+    /// run them concurrently on the background job pool (1 = serial).
+    pub max_subcompactions: usize,
 }
 
 impl Default for CompactionParams {
@@ -71,8 +74,103 @@ impl Default for CompactionParams {
             universal_run_trigger: 8,
             fifo_max_bytes: 64 * 1024 * 1024,
             target_file_size: 2 * 1024 * 1024,
+            max_subcompactions: 1,
         }
     }
+}
+
+/// One disjoint key subrange of a merge task: user keys in
+/// `[lower, upper)`, with `None` meaning unbounded on that side.
+///
+/// Bounds are always **user keys** (never internal keys), so every
+/// version of a user key lands in exactly one subrange — the per-key
+/// shadowing/tombstone state in [`run_compaction_range`] resets at key
+/// changes and would mis-drop entries if a key straddled two ranges.
+#[derive(Clone, Debug, Default)]
+pub struct SubcompactionRange {
+    /// Inclusive lower bound on user keys (`None` = from the start).
+    pub lower: Option<Vec<u8>>,
+    /// Exclusive upper bound on user keys (`None` = to the end).
+    pub upper: Option<Vec<u8>>,
+}
+
+impl SubcompactionRange {
+    /// The unbounded range covering the whole task.
+    #[must_use]
+    pub fn full() -> Self {
+        SubcompactionRange::default()
+    }
+}
+
+/// Splits a merge task into up to `max_subcompactions` byte-balanced,
+/// key-disjoint subranges using the input SSTs' index blocks.
+///
+/// Every index entry of every input file contributes a
+/// `(last user key of block, block bytes)` span; boundaries are placed
+/// where the running byte total crosses an even stripe of the task's
+/// total bytes. Planning is best-effort: any error opening an input (or
+/// a task too small to split) degrades to a single full-range plan,
+/// which is always correct.
+#[must_use]
+pub fn plan_subcompactions(
+    table_cache: &Arc<TableCache>,
+    task: &CompactionTask,
+    max_subcompactions: usize,
+) -> Vec<SubcompactionRange> {
+    let single = vec![SubcompactionRange::full()];
+    let CompactionTask::Merge { inputs, overlaps, .. } = task else {
+        return single;
+    };
+    if max_subcompactions <= 1 {
+        return single;
+    }
+    let mut spans: Vec<(Vec<u8>, u64)> = Vec::new();
+    for meta in inputs.iter().chain(overlaps.iter()) {
+        let table = match table_cache.get(meta.number) {
+            Ok(t) => t,
+            Err(_) => return single,
+        };
+        match table.index_spans() {
+            Ok(s) => spans.extend(s),
+            Err(_) => return single,
+        }
+    }
+    if spans.len() < 2 {
+        return single;
+    }
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    let total: u64 = spans.iter().map(|(_, bytes)| bytes).sum();
+    let want = max_subcompactions.min(spans.len());
+    let stripe = (total / want as u64).max(1);
+
+    // Walk the spans in key order and cut a boundary each time a stripe
+    // of bytes has accumulated. Candidate boundaries are the spans' user
+    // keys; requiring each new boundary to be *strictly greater* than
+    // the last collapses duplicate candidates (many versions / many
+    // blocks of one hot user key), so no user key is ever split.
+    let mut boundaries: Vec<Vec<u8>> = Vec::new();
+    let mut acc = 0u64;
+    for (key, bytes) in &spans {
+        if boundaries.len() + 1 >= want {
+            break;
+        }
+        acc += bytes;
+        if acc >= stripe && boundaries.last().is_none_or(|b| b.as_slice() < key.as_slice()) {
+            boundaries.push(key.clone());
+            acc = 0;
+        }
+    }
+    if boundaries.is_empty() {
+        return single;
+    }
+    let mut ranges = Vec::with_capacity(boundaries.len() + 1);
+    let mut lower: Option<Vec<u8>> = None;
+    for b in boundaries {
+        ranges.push(SubcompactionRange { lower: lower.take(), upper: Some(b.clone()) });
+        lower = Some(b);
+    }
+    ranges.push(SubcompactionRange { lower, upper: None });
+    ranges
 }
 
 /// A unit of compaction work.
@@ -294,18 +392,57 @@ pub fn run_compaction(
     ctx: &mut CompactionContext<'_>,
     task: &CompactionTask,
 ) -> Result<CompactionOutcome> {
-    let CompactionTask::Merge { input_level, output_level, inputs, overlaps } = task else {
-        // FIFO trims delete files without reading them.
-        let CompactionTask::FifoTrim { files } = task else { unreachable!() };
-        let mut outcome = CompactionOutcome::default();
-        for f in files {
-            outcome.edit.deleted_files.push((0, f.number));
+    let mut outcome = run_compaction_range(ctx, task, &SubcompactionRange::full())?;
+    outcome.bytes_read = task.input_bytes();
+    append_input_deletions(task, &mut outcome.edit);
+    Ok(outcome)
+}
+
+/// Records the task's input files as deleted in `edit`. Split out of
+/// [`run_compaction_range`] so a parallel run can stitch N subrange
+/// outcomes into one edit and delete each input exactly once.
+pub fn append_input_deletions(task: &CompactionTask, edit: &mut VersionEdit) {
+    match task {
+        CompactionTask::Merge { input_level, output_level, inputs, overlaps } => {
+            for meta in inputs {
+                edit.deleted_files.push((*input_level as u32, meta.number));
+            }
+            for meta in overlaps {
+                edit.deleted_files.push((*output_level as u32, meta.number));
+            }
         }
-        return Ok(outcome);
+        CompactionTask::FifoTrim { files } => {
+            for f in files {
+                edit.deleted_files.push((0, f.number));
+            }
+        }
+    }
+}
+
+/// Executes the slice of a merge task whose user keys fall in `range`.
+///
+/// The returned outcome carries only the **output** side of the edit
+/// (new files); input deletions are appended by the caller via
+/// [`append_input_deletions`] — once per task, not once per subrange.
+/// `bytes_read` is likewise left at 0 (a subrange cannot attribute input
+/// bytes precisely); [`run_compaction`] fills it for the whole task.
+///
+/// Because range bounds are user keys, all versions of any user key are
+/// processed by exactly one call, so shadowed-version dropping and
+/// snapshot-aware tombstone elision behave identically to a serial run.
+pub fn run_compaction_range(
+    ctx: &mut CompactionContext<'_>,
+    task: &CompactionTask,
+    range: &SubcompactionRange,
+) -> Result<CompactionOutcome> {
+    let CompactionTask::Merge { input_level, output_level, inputs, overlaps } = task else {
+        // FIFO trims delete files without reading them; the caller's
+        // `append_input_deletions` records the drops.
+        return Ok(CompactionOutcome::default());
     };
 
-    let mut outcome =
-        CompactionOutcome { bytes_read: task.input_bytes(), ..CompactionOutcome::default() };
+    let perf_start = shield_core::perf::timer();
+    let mut outcome = CompactionOutcome::default();
 
     // Build the merged input stream. Inputs from L0 (or a universal run
     // set) must be one iterator per file, newest first; sorted levels can
@@ -329,7 +466,16 @@ pub fn run_compaction(
         )));
     }
     let mut merged = MergingIterator::new(children);
-    merged.seek_to_first();
+    match &range.lower {
+        // Seek to the *first* version of the lower-bound user key:
+        // `MAX_SEQUENCE` sorts before every real sequence number.
+        Some(lower) => merged.seek(&crate::types::make_internal_key(
+            lower,
+            MAX_SEQUENCE,
+            ValueType::Value,
+        )),
+        None => merged.seek_to_first(),
+    }
 
     let mut builder: Option<(u64, TableBuilder)> = None;
     let mut current_user_key: Option<Vec<u8>> = None;
@@ -369,6 +515,13 @@ pub fn run_compaction(
     while merged.valid() {
         let ikey = merged.key().to_vec();
         let user_key = extract_user_key(&ikey).to_vec();
+        if let Some(upper) = &range.upper {
+            if user_key.as_slice() >= upper.as_slice() {
+                // End of this subrange; keys past `upper` belong to the
+                // next subcompaction.
+                break;
+            }
+        }
         let (seq, vtype) = extract_seq_type(&ikey);
 
         // Reset per-key tracking on key change.
@@ -427,13 +580,7 @@ pub fn run_compaction(
     }
     merged.status()?;
     finish_output(builder.take(), &mut outcome)?;
-
-    for meta in inputs {
-        outcome.edit.deleted_files.push((*input_level as u32, meta.number));
-    }
-    for meta in overlaps {
-        outcome.edit.deleted_files.push((*output_level as u32, meta.number));
-    }
+    shield_core::perf::add_elapsed(shield_core::PerfMetric::Subcompaction, perf_start);
     Ok(outcome)
 }
 

@@ -19,7 +19,9 @@ use shield_env::{Env, FileKind};
 
 use crate::cache::BlockCache;
 use crate::compaction::{
-    pick_compaction, run_compaction, CompactionContext, CompactionTask,
+    append_input_deletions, pick_compaction, plan_subcompactions, run_compaction,
+    run_compaction_range, CompactionContext, CompactionOutcome, CompactionTask,
+    SubcompactionRange,
 };
 use crate::db::batch::WriteBatch;
 use crate::db::metrics::{LevelStats, MetricsReport, OpHistograms};
@@ -42,10 +44,20 @@ use crate::version::VersionSet;
 use crate::wal::{LogReader, LogWriter};
 
 /// Background work items.
+///
+/// `Subcompaction` is a *claim token*, not the work itself: the actual
+/// subrange closures sit in `DbInner::sub_queue`, and each token makes
+/// one worker pop one closure. Tokens go through the same FIFO channel
+/// as flushes, so a flush enqueued between two subrange tokens runs as
+/// soon as any worker frees up — neither job class can starve the other.
 enum Job {
     Flush,
     Compaction,
+    Subcompaction,
 }
+
+/// A queued subrange merge of an in-flight parallel compaction.
+type Subtask = Box<dyn FnOnce() + Send>;
 
 struct State {
     mem: Arc<MemTable>,
@@ -86,6 +98,11 @@ struct DbInner {
     last_published: AtomicU64,
     shutting_down: AtomicBool,
     job_tx: Mutex<Option<Sender<Job>>>,
+    /// Pending subrange merges of the in-flight parallel compaction.
+    /// Workers pop one per `Job::Subcompaction` token; the coordinating
+    /// compaction thread drains whatever is left itself (work stealing),
+    /// so the parallel path cannot deadlock even with a 1-thread pool.
+    sub_queue: Mutex<std::collections::VecDeque<Subtask>>,
     /// In-engine per-op latency histograms (see `Db::metrics_report`).
     op_hists: OpHistograms,
     /// Fan-out for engine events; the `LOG` file is one of its listeners.
@@ -184,6 +201,7 @@ impl Db {
             last_published: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             job_tx: Mutex::new(None),
+            sub_queue: Mutex::new(std::collections::VecDeque::new()),
             op_hists: OpHistograms::default(),
             events,
             opts,
@@ -220,6 +238,7 @@ impl Db {
                     match job {
                         Job::Flush => inner.background_flush(),
                         Job::Compaction => inner.background_compaction(),
+                        Job::Subcompaction => inner.run_queued_subcompaction(),
                     }
                 }
             }));
@@ -381,7 +400,7 @@ impl Db {
             seq,
             current: None,
             db: self.inner.clone(),
-            _pins: (mem, imms),
+            _pins: (mem, imms, version),
         })
     }
 
@@ -395,6 +414,10 @@ impl Db {
             out.push((it.key().to_vec(), it.value().to_vec()));
             it.next();
         }
+        // A read error mid-iteration leaves the iterator invalid with the
+        // error parked in its status; a partial result must not pass as a
+        // complete one.
+        it.status()?;
         Ok(out)
     }
 
@@ -991,7 +1014,7 @@ impl DbInner {
         }
     }
 
-    fn background_compaction(&self) {
+    fn background_compaction(self: &Arc<Self>) {
         // Pick under the lock; run without it.
         let (task, version, smallest_snapshot) = {
             let mut state = self.state.lock();
@@ -1051,46 +1074,69 @@ impl DbInner {
             bloom_bits_per_key: self.opts.bloom_bits_per_key,
             dek_id: None,
         };
-        let inner_self = self;
-        let mut alloc = || {
-            let mut state = inner_self.state.lock();
-            let n = state.versions.new_file_number();
-            state.pending_outputs.insert(n);
-            n
+        // Every output number any attempt allocates lands here, so the
+        // install/error paths below can clear `pending_outputs` exactly —
+        // including numbers abandoned by failed retry attempts, which
+        // previously leaked and kept their garbage files undeletable.
+        let allocated: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let plan = match &self.opts.compaction_executor {
+            // Offloaded executors own their whole task; only the
+            // in-process path splits work.
+            Some(_) => vec![SubcompactionRange::full()],
+            None => plan_subcompactions(
+                &self.table_cache,
+                &task,
+                self.opts.compaction.max_subcompactions,
+            ),
         };
         let exec_start = std::time::Instant::now();
         // Soft failures (transient storage/network faults) are retried
-        // here; each retry allocates fresh output numbers, and the env
-        // truncates on reopen, so a half-written attempt is harmless.
-        let result = self.with_bg_retries("compaction", || match &self.opts.compaction_executor {
-            Some(executor) => {
-                // Offloaded: the remote worker resolves DEKs itself from
-                // the DEK-IDs embedded in the file metadata (§5.4).
-                let request = crate::compaction::CompactionRequest {
-                    db_path: &self.path,
-                    task: &task,
-                    version: &version,
-                    smallest_snapshot,
-                    table_options: table_options.clone(),
-                    target_file_size: self.opts.compaction.target_file_size,
-                };
-                executor.execute(&request, &mut alloc)
-            }
-            None => {
-                let mut ctx = CompactionContext {
-                    env: &self.env,
-                    db_path: &self.path,
-                    encryption: self.opts.encryption.as_ref(),
-                    table_cache: &self.table_cache,
-                    version: &version,
-                    smallest_snapshot,
-                    table_options: table_options.clone(),
-                    target_file_size: self.opts.compaction.target_file_size,
-                    next_file_number: &mut alloc,
-                };
-                run_compaction(&mut ctx, &task)
-            }
-        });
+        // (per subrange in the parallel path); each retry allocates fresh
+        // output numbers, and the env truncates on reopen, so a
+        // half-written attempt is harmless.
+        let result = if plan.len() > 1 {
+            self.run_subcompactions(
+                &task,
+                &version,
+                smallest_snapshot,
+                &table_options,
+                task_level,
+                task_input_bytes,
+                plan,
+                &allocated,
+            )
+        } else {
+            let mut alloc = || self.alloc_compaction_output(&allocated);
+            self.with_bg_retries("compaction", || match &self.opts.compaction_executor {
+                Some(executor) => {
+                    // Offloaded: the remote worker resolves DEKs itself from
+                    // the DEK-IDs embedded in the file metadata (§5.4).
+                    let request = crate::compaction::CompactionRequest {
+                        db_path: &self.path,
+                        task: &task,
+                        version: &version,
+                        smallest_snapshot,
+                        table_options: table_options.clone(),
+                        target_file_size: self.opts.compaction.target_file_size,
+                    };
+                    executor.execute(&request, &mut alloc)
+                }
+                None => {
+                    let mut ctx = CompactionContext {
+                        env: &self.env,
+                        db_path: &self.path,
+                        encryption: self.opts.encryption.as_ref(),
+                        table_cache: &self.table_cache,
+                        version: &version,
+                        smallest_snapshot,
+                        table_options: table_options.clone(),
+                        target_file_size: self.opts.compaction.target_file_size,
+                        next_file_number: &mut alloc,
+                    };
+                    run_compaction(&mut ctx, &task)
+                }
+            })
+        };
         self.stats
             .compaction_micros
             .fetch_add(exec_start.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -1111,8 +1157,12 @@ impl DbInner {
         }
         match result {
             Ok(outcome) => {
-                for (_, meta) in &outcome.edit.new_files {
-                    state.pending_outputs.remove(&meta.number);
+                // Release every allocated output number — survivors are
+                // about to be pinned by the manifest, and numbers
+                // abandoned by failed attempts become plain garbage. GC
+                // cannot race: it runs under this same state lock.
+                for n in allocated.lock().drain(..) {
+                    state.pending_outputs.remove(&n);
                 }
                 match state.versions.log_and_apply(outcome.edit.clone()) {
                     Ok(_) => {
@@ -1138,11 +1188,243 @@ impl DbInner {
                     Err(e) => self.set_bg_error(&mut state, "compaction", e),
                 }
             }
-            Err(e) => self.set_bg_error(&mut state, "compaction", e),
+            Err(e) => {
+                // Nothing survives a failed compaction: unpin all
+                // allocated outputs so GC can delete the half-written
+                // files once the error clears.
+                for n in allocated.lock().drain(..) {
+                    state.pending_outputs.remove(&n);
+                }
+                self.set_bg_error(&mut state, "compaction", e);
+            }
         }
         state.compaction_scheduled = false;
         self.maybe_schedule(&mut state);
         self.work_cv.notify_all();
+    }
+
+    /// Allocates an output file number, pinning it in `pending_outputs`
+    /// (against GC) and recording it in `allocated` (for exact unpinning
+    /// when the compaction installs or fails).
+    fn alloc_compaction_output(&self, allocated: &Mutex<Vec<u64>>) -> u64 {
+        let n = {
+            let mut state = self.state.lock();
+            let n = state.versions.new_file_number();
+            state.pending_outputs.insert(n);
+            n
+        };
+        allocated.lock().push(n);
+        n
+    }
+
+    /// Pops and runs one queued subrange merge. Each `Job::Subcompaction`
+    /// token redeems exactly one queue entry; the queue may already be
+    /// empty if the coordinator stole the work (that is fine — the token
+    /// is then a no-op and the worker moves on).
+    fn run_queued_subcompaction(&self) {
+        let subtask = self.sub_queue.lock().pop_front();
+        if let Some(f) = subtask {
+            f();
+        }
+    }
+
+    /// Runs a picked merge task as `plan.len()` parallel subrange merges
+    /// and stitches the results into ONE `CompactionOutcome`, so the
+    /// caller installs a single atomic `VersionEdit` — readers never see
+    /// a partially compacted range, exactly as in the serial path.
+    ///
+    /// Scheduling: subranges 1.. go onto `sub_queue` with one
+    /// `Job::Subcompaction` token each; this thread runs subrange 0
+    /// inline, then steals any still-queued subranges (tokens may be
+    /// behind other work, or lost entirely at shutdown), then waits for
+    /// stragglers a worker already popped. Progress never depends on a
+    /// second thread existing.
+    #[allow(clippy::too_many_arguments)]
+    fn run_subcompactions(
+        self: &Arc<Self>,
+        task: &CompactionTask,
+        version: &Arc<crate::version::version::Version>,
+        smallest_snapshot: SequenceNumber,
+        table_options: &TableBuilderOptions,
+        task_level: u64,
+        task_input_bytes: u64,
+        plan: Vec<SubcompactionRange>,
+        allocated: &Arc<Mutex<Vec<u64>>>,
+    ) -> Result<CompactionOutcome> {
+        let n = plan.len();
+        self.events.emit(&Event::SubcompactionBegin {
+            level: task_level,
+            subtasks: n as u64,
+            input_bytes: task_input_bytes,
+        });
+        // The task is shared into 'static closures, so it must live on
+        // the heap (file lists are `Arc<FileMeta>`s — cloning is cheap).
+        let task: Arc<CompactionTask> = Arc::new(match task {
+            CompactionTask::Merge { input_level, output_level, inputs, overlaps } => {
+                CompactionTask::Merge {
+                    input_level: *input_level,
+                    output_level: *output_level,
+                    inputs: inputs.clone(),
+                    overlaps: overlaps.clone(),
+                }
+            }
+            CompactionTask::FifoTrim { files } => {
+                CompactionTask::FifoTrim { files: files.clone() }
+            }
+        });
+        let results: Arc<Mutex<Vec<Option<Result<CompactionOutcome>>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let remaining = Arc::new((Mutex::new(n), Condvar::new()));
+
+        let mut ranges = plan.into_iter();
+        let range0 = ranges.next().unwrap_or_default();
+        {
+            let mut queue = self.sub_queue.lock();
+            for (offset, range) in ranges.enumerate() {
+                let index = offset + 1;
+                let this = self.clone();
+                let task = task.clone();
+                let version = version.clone();
+                let topts = table_options.clone();
+                let results = results.clone();
+                let remaining = remaining.clone();
+                let allocated = allocated.clone();
+                queue.push_back(Box::new(move || {
+                    this.run_one_subrange(
+                        index,
+                        &task,
+                        &version,
+                        smallest_snapshot,
+                        &topts,
+                        &range,
+                        &results,
+                        &remaining,
+                        &allocated,
+                    );
+                }));
+            }
+        }
+        {
+            let tx = self.job_tx.lock();
+            if let Some(tx) = tx.as_ref() {
+                for _ in 1..n {
+                    let _ = tx.send(Job::Subcompaction);
+                }
+            }
+        }
+        self.run_one_subrange(
+            0,
+            &task,
+            version,
+            smallest_snapshot,
+            table_options,
+            &range0,
+            &results,
+            &remaining,
+            allocated,
+        );
+        // Steal whatever no worker has claimed yet.
+        loop {
+            let subtask = self.sub_queue.lock().pop_front();
+            match subtask {
+                Some(f) => f(),
+                None => break,
+            }
+        }
+        // Wait for subranges a worker popped but has not finished.
+        {
+            let (count, cv) = &*remaining;
+            let mut left = count.lock();
+            while *left > 0 {
+                cv.wait(&mut left);
+            }
+        }
+
+        // Stitch in subrange order: outputs are key-disjoint and the
+        // version set re-sorts each level on apply, so concatenation
+        // preserves every invariant of the serial outcome.
+        let mut merged =
+            CompactionOutcome { bytes_read: task.input_bytes(), ..CompactionOutcome::default() };
+        let mut slots = results.lock();
+        let mut first_err: Option<Error> = None;
+        for slot in slots.iter_mut() {
+            match slot.take() {
+                Some(Ok(out)) => {
+                    merged.bytes_written += out.bytes_written;
+                    merged.entries_dropped += out.entries_dropped;
+                    merged.outputs += out.outputs;
+                    merged.edit.new_files.extend(out.edit.new_files);
+                }
+                Some(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                None => {
+                    if first_err.is_none() {
+                        first_err = Some(Error::Io(shield_env::EnvError::Io(
+                            "subcompaction result missing".to_string(),
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Inputs are deleted exactly once, for the task as a whole.
+        append_input_deletions(&task, &mut merged.edit);
+        Ok(merged)
+    }
+
+    /// Executes one subrange of a parallel compaction and publishes the
+    /// result into its slot. Runs on whichever thread claimed it (a pool
+    /// worker via `Job::Subcompaction`, or the coordinator itself).
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_subrange(
+        &self,
+        index: usize,
+        task: &CompactionTask,
+        version: &Arc<crate::version::version::Version>,
+        smallest_snapshot: SequenceNumber,
+        table_options: &TableBuilderOptions,
+        range: &SubcompactionRange,
+        results: &Mutex<Vec<Option<Result<CompactionOutcome>>>>,
+        remaining: &(Mutex<usize>, Condvar),
+        allocated: &Mutex<Vec<u64>>,
+    ) {
+        let start = std::time::Instant::now();
+        let result = self.with_bg_retries("subcompaction", || {
+            let mut alloc = || self.alloc_compaction_output(allocated);
+            let mut ctx = CompactionContext {
+                env: &self.env,
+                db_path: &self.path,
+                encryption: self.opts.encryption.as_ref(),
+                table_cache: &self.table_cache,
+                version,
+                smallest_snapshot,
+                table_options: table_options.clone(),
+                target_file_size: self.opts.compaction.target_file_size,
+                next_file_number: &mut alloc,
+            };
+            run_compaction_range(&mut ctx, task, range)
+        });
+        let micros = start.elapsed().as_micros() as u64;
+        self.stats.subcompactions.fetch_add(1, Ordering::Relaxed);
+        self.stats.subcompaction_micros.fetch_add(micros, Ordering::Relaxed);
+        self.op_hists.subcompaction.record_elapsed(start);
+        self.events.emit(&Event::SubcompactionEnd {
+            index: index as u64,
+            bytes_written: result.as_ref().map_or(0, |o| o.bytes_written),
+            micros,
+        });
+        results.lock()[index] = Some(result);
+        let (count, cv) = remaining;
+        let mut left = count.lock();
+        *left -= 1;
+        if *left == 0 {
+            cv.notify_all();
+        }
     }
 
     /// Removes files no longer referenced: old WALs, compacted-away SSTs,
@@ -1297,8 +1579,11 @@ pub struct DbIterator {
     current: Option<(Vec<u8>, Vec<u8>)>,
     /// For the `iter_next` latency histogram.
     db: Arc<DbInner>,
-    /// Keeps memtables alive while the iterator exists.
-    _pins: (Arc<MemTable>, Vec<Arc<MemTable>>),
+    /// Keeps memtables AND the version alive while the iterator exists:
+    /// the version pin (tracked by `VersionSet::referenced_files`) stops
+    /// obsolete-file GC from deleting SSTs that lazily-opening level
+    /// iterators have not read yet.
+    _pins: (Arc<MemTable>, Vec<Arc<MemTable>>, Arc<crate::version::version::Version>),
 }
 
 impl DbIterator {
@@ -1338,6 +1623,12 @@ impl DbIterator {
         let skip = self.current.take().map(|(k, _)| k);
         self.advance_to_visible(skip);
         self.db.op_hists.iter_next.record_elapsed(op_start);
+    }
+
+    /// First error any underlying source hit. An iterator that went
+    /// invalid with an error here has *stopped early*, not finished.
+    pub fn status(&self) -> Result<()> {
+        self.merged.status()
     }
 
     /// Skips invisible/shadowed/deleted entries. `skip_key` is a user key

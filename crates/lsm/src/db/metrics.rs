@@ -18,8 +18,8 @@ use crate::statistics::StatsSnapshot;
 pub const METRICS_SCHEMA: &str = "shield_metrics_v1";
 
 /// Operation types with an in-engine latency histogram.
-pub const OP_TYPES: [&str; 6] =
-    ["get", "put", "write_batch", "iter_next", "flush", "compaction"];
+pub const OP_TYPES: [&str; 7] =
+    ["get", "put", "write_batch", "iter_next", "flush", "compaction", "subcompaction"];
 
 /// One [`AtomicHistogram`] per op type; lives in `DbInner` and is
 /// recorded by foreground ops and background jobs alike.
@@ -31,6 +31,7 @@ pub(crate) struct OpHistograms {
     pub iter_next: AtomicHistogram,
     pub flush: AtomicHistogram,
     pub compaction: AtomicHistogram,
+    pub subcompaction: AtomicHistogram,
 }
 
 impl OpHistograms {
@@ -43,6 +44,7 @@ impl OpHistograms {
             ("iter_next", self.iter_next.snapshot().summary()),
             ("flush", self.flush.snapshot().summary()),
             ("compaction", self.compaction.snapshot().summary()),
+            ("subcompaction", self.subcompaction.snapshot().summary()),
         ]
     }
 }

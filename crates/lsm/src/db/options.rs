@@ -137,6 +137,14 @@ impl Options {
         self
     }
 
+    /// Splits each compaction into up to `n` key-disjoint subranges
+    /// merged concurrently on the background pool (1 = serial).
+    #[must_use]
+    pub fn with_max_subcompactions(mut self, n: usize) -> Self {
+        self.compaction.max_subcompactions = n.max(1);
+        self
+    }
+
     /// Registers an [`EventListener`] notified of every engine event.
     #[must_use]
     pub fn with_event_listener(mut self, listener: Arc<dyn EventListener>) -> Self {

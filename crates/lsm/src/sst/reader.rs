@@ -148,6 +148,27 @@ impl Table {
         self.filter.as_ref().is_some_and(|f| !f.may_contain(user_key))
     }
 
+    /// Per-data-block `(last user key, stored bytes)` spans from the
+    /// index block, in key order. Subcompaction planning uses these to
+    /// place byte-balanced boundaries without reading any data blocks.
+    /// Index keys are full internal keys (the builder records each
+    /// block's last key verbatim), so stripping the trailer yields a
+    /// real user key.
+    pub fn index_spans(&self) -> Result<Vec<(Vec<u8>, u64)>> {
+        let mut spans = Vec::new();
+        let mut it = self.index.iter();
+        it.seek_to_first();
+        while it.valid() {
+            let handle = BlockHandle::decode_varint(it.value())?;
+            spans.push((
+                extract_user_key(it.key()).to_vec(),
+                handle.size + BLOCK_TRAILER_LEN as u64,
+            ));
+            it.next();
+        }
+        Ok(spans)
+    }
+
     /// A full-table iterator.
     #[must_use]
     pub fn iter(self: &Arc<Self>) -> TableIterator {

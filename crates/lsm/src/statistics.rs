@@ -100,6 +100,11 @@ tickers! {
         compactions,
         /// Microseconds spent executing compactions.
         compaction_micros,
+        /// Subrange merges run by parallel compactions.
+        subcompactions,
+        /// Microseconds spent in subrange merges (sums across parallel
+        /// workers, so it can exceed `compaction_micros` wall time).
+        subcompaction_micros,
         /// Bytes read by compaction inputs.
         compaction_bytes_read,
         /// Bytes written by compaction outputs.
@@ -190,6 +195,6 @@ mod tests {
         for (n, _) in &counters {
             assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");
         }
-        assert_eq!(counters.len() + gauges.len(), 25);
+        assert_eq!(counters.len() + gauges.len(), 27);
     }
 }

@@ -116,6 +116,10 @@ pub enum Event {
         output_files: u64,
         micros: u64,
     },
+    /// A compaction split into parallel subrange merges.
+    SubcompactionBegin { level: u64, subtasks: u64, input_bytes: u64 },
+    /// One subrange merge of a parallel compaction finished.
+    SubcompactionEnd { index: u64, bytes_written: u64, micros: u64 },
     /// A writer was slowed or stopped by L0 pressure.
     WriteStall { reason: &'static str, l0_files: u64 },
     /// A background job failed (possibly after exhausting retries).
@@ -145,6 +149,8 @@ impl Event {
             Event::FlushEnd { .. } => "flush_end",
             Event::CompactionBegin { .. } => "compaction_begin",
             Event::CompactionEnd { .. } => "compaction_end",
+            Event::SubcompactionBegin { .. } => "subcompaction_begin",
+            Event::SubcompactionEnd { .. } => "subcompaction_end",
             Event::WriteStall { .. } => "write_stall",
             Event::BackgroundError { .. } => "background_error",
             Event::BackgroundRetry { .. } => "background_retry",
@@ -167,6 +173,9 @@ impl Event {
             | Event::CompactionEnd { .. }
             | Event::Resume
             | Event::KdsDegradedExit => LogLevel::Info,
+            // Per-subrange progress is chatty; keep it below the default
+            // info LOG level.
+            Event::SubcompactionBegin { .. } | Event::SubcompactionEnd { .. } => LogLevel::Debug,
             Event::WriteStall { .. }
             | Event::BackgroundRetry { .. }
             | Event::KdsRetry { .. }
@@ -204,6 +213,16 @@ impl Event {
                     ("micros", U64(*micros)),
                 ]
             }
+            Event::SubcompactionBegin { level, subtasks, input_bytes } => vec![
+                ("level", U64(*level)),
+                ("subtasks", U64(*subtasks)),
+                ("input_bytes", U64(*input_bytes)),
+            ],
+            Event::SubcompactionEnd { index, bytes_written, micros } => vec![
+                ("index", U64(*index)),
+                ("bytes_written", U64(*bytes_written)),
+                ("micros", U64(*micros)),
+            ],
             Event::WriteStall { reason, l0_files } => vec![
                 ("reason", Str((*reason).to_string())),
                 ("l0_files", U64(*l0_files)),
@@ -526,6 +545,8 @@ mod tests {
                 output_files: 1,
                 micros: 9,
             },
+            Event::SubcompactionBegin { level: 0, subtasks: 4, input_bytes: 5 },
+            Event::SubcompactionEnd { index: 1, bytes_written: 2, micros: 3 },
             Event::WriteStall { reason: "l0_slowdown", l0_files: 8 },
             Event::BackgroundError { job: "compaction", severity: "hard", message: "io".into() },
             Event::BackgroundRetry { job: "flush", attempt: 1, message: "io".into() },

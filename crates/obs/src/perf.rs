@@ -52,6 +52,8 @@ pub struct PerfContext {
     pub dek_resolve_nanos: u64,
     /// Time probing the block cache.
     pub cache_lookup_nanos: u64,
+    /// Time merging one compaction subrange (read + merge + write).
+    pub subcompaction_nanos: u64,
     /// Data/index/filter blocks read from files.
     pub blocks_read: u64,
     /// Bloom filter probes issued.
@@ -71,6 +73,7 @@ impl PerfContext {
         block_encrypt_nanos: 0,
         dek_resolve_nanos: 0,
         cache_lookup_nanos: 0,
+        subcompaction_nanos: 0,
         blocks_read: 0,
         bloom_probes: 0,
         cipher_inits: 0,
@@ -87,6 +90,7 @@ impl PerfContext {
             + self.block_encrypt_nanos
             + self.dek_resolve_nanos
             + self.cache_lookup_nanos
+            + self.subcompaction_nanos
     }
 
     pub fn is_zero(&self) -> bool {
@@ -94,7 +98,7 @@ impl PerfContext {
     }
 
     /// Field (name, value) pairs, for rendering. Times first, then counts.
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("wal_append_nanos", self.wal_append_nanos),
             ("wal_sync_nanos", self.wal_sync_nanos),
@@ -105,6 +109,7 @@ impl PerfContext {
             ("block_encrypt_nanos", self.block_encrypt_nanos),
             ("dek_resolve_nanos", self.dek_resolve_nanos),
             ("cache_lookup_nanos", self.cache_lookup_nanos),
+            ("subcompaction_nanos", self.subcompaction_nanos),
             ("blocks_read", self.blocks_read),
             ("bloom_probes", self.bloom_probes),
             ("cipher_inits", self.cipher_inits),
@@ -124,6 +129,7 @@ pub enum PerfMetric {
     BlockEncrypt,
     DekResolve,
     CacheLookup,
+    Subcompaction,
 }
 
 /// Counted events of [`PerfContext`].
@@ -183,6 +189,7 @@ pub fn add_nanos(metric: PerfMetric, ns: u64) {
             PerfMetric::BlockEncrypt => &mut ctx.block_encrypt_nanos,
             PerfMetric::DekResolve => &mut ctx.dek_resolve_nanos,
             PerfMetric::CacheLookup => &mut ctx.cache_lookup_nanos,
+            PerfMetric::Subcompaction => &mut ctx.subcompaction_nanos,
         };
         *slot = slot.saturating_add(ns);
         c.set(ctx);

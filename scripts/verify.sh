@@ -13,6 +13,12 @@
 #           *disabled* PerfContext timer pair must cost < 2% of one
 #           4 KiB chunk encryption (see DESIGN.md §4e), refreshing
 #           OBS_metrics.json.
+#   tier 5: compaction-stress — parallel-subcompaction gate: the
+#           differential equivalence suite (serial vs subrange-stitched
+#           merges, all three encryption modes, boundary regression) plus
+#           the concurrent writer/iterator/snapshot stress with
+#           max_subcompactions=4, and the bench binary's engagement
+#           check over simulated remote storage (see DESIGN.md §4f).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
@@ -96,5 +102,13 @@ if [[ $quick -eq 0 ]]; then
     done
     echo "ok"
 fi
+
+echo "== tier 5: compaction-stress (parallel subcompactions) =="
+cargo test -q --test subcompaction_equivalence
+cargo test -q --test model_check concurrent_workload_under_parallel_compactions_matches_oracle
+if [[ $quick -eq 0 ]]; then
+    cargo run --release -q -p shield-bench --bin subcompaction -- --smoke --out /tmp/BENCH_subcompaction_smoke.json
+fi
+echo "ok"
 
 echo "ALL VERIFICATION TIERS PASSED"

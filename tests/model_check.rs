@@ -148,6 +148,114 @@ fn prop_assert_eq_impl(got: &[(Vec<u8>, Vec<u8>)], want: &[(Vec<u8>, Vec<u8>)]) 
     }
 }
 
+// ---------------------------------------------------------------------
+// Concurrency stress under parallel subcompactions
+// ---------------------------------------------------------------------
+
+/// Scan rows under `prefix`, stopping at the first foreign key.
+fn prefix_scan(db: &Db, r: &ReadOptions, prefix: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+    db.scan(r, prefix.as_bytes(), usize::MAX >> 1)
+        .expect("scan")
+        .into_iter()
+        .take_while(|(k, _)| k.starts_with(prefix.as_bytes()))
+        .collect()
+}
+
+/// Concurrent writers, iterators, and snapshots while parallel
+/// subcompactions churn underneath. Each writer owns a disjoint key
+/// prefix and its own `BTreeMap` oracle, so it can check — mid-flight,
+/// against live compactions —
+///
+/// * snapshot *stability*: the same snapshot scanned twice is identical;
+/// * snapshot *correctness*: the snapshot view equals the oracle at the
+///   moment it was taken (no other thread touches this prefix);
+/// * iterator correctness: a latest-view scan of the prefix equals the
+///   oracle right now.
+///
+/// At the end, the union of all oracles must equal a full scan.
+#[test]
+fn concurrent_workload_under_parallel_compactions_matches_oracle() {
+    const THREADS: usize = 4;
+    const OPS: u32 = 600;
+    const KEYSPACE: u32 = 150;
+
+    let env = MemEnv::new();
+    let mut opts = Options::new(Arc::new(env.clone()))
+        .with_write_buffer_size(8 << 10)
+        .with_background_jobs(4)
+        .with_max_subcompactions(4);
+    opts.block_size = 256; // many index spans => compactions really split
+    opts.compaction.l0_compaction_trigger = 2;
+    opts.compaction.target_file_size = 4 << 10;
+    let db = Db::open(opts, "db").expect("open");
+
+    let oracles: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for tid in 0..THREADS {
+            let db = &db;
+            handles.push(s.spawn(move || {
+                let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+                let w = WriteOptions::default();
+                let prefix = format!("t{tid}-");
+                for op in 0..OPS {
+                    let i = (op * 31 + tid as u32 * 7) % KEYSPACE;
+                    let key = format!("{prefix}k{i:04}").into_bytes();
+                    if op % 5 == 4 {
+                        db.delete(&w, &key).expect("delete");
+                        oracle.remove(&key);
+                    } else {
+                        let value =
+                            format!("{prefix}v{op:05}-{}", "q".repeat(48)).into_bytes();
+                        db.put(&w, &key, &value).expect("put");
+                        oracle.insert(key, value);
+                    }
+                    if op % 120 == 60 {
+                        let snap = db.snapshot();
+                        let at_snap: Vec<(Vec<u8>, Vec<u8>)> =
+                            oracle.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                        let ropts = snap.read_options();
+                        let scan1 = prefix_scan(db, &ropts, &prefix);
+                        let scan2 = prefix_scan(db, &ropts, &prefix);
+                        assert_eq!(scan1, scan2, "{prefix}: same snapshot diverged");
+                        assert_eq!(scan1, at_snap, "{prefix}: snapshot view != oracle");
+                    }
+                    if op % 45 == 20 {
+                        let now: Vec<(Vec<u8>, Vec<u8>)> =
+                            oracle.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                        let scan = prefix_scan(db, &ReadOptions::new(), &prefix);
+                        assert_eq!(scan, now, "{prefix}: live view != oracle");
+                    }
+                }
+                oracle
+            }));
+        }
+        // Churn background work while the writers run.
+        let db_ref = &db;
+        let churner = s.spawn(move || {
+            for _ in 0..15 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let _ = db_ref.flush();
+            }
+        });
+        let oracles: Vec<_> = handles.into_iter().map(|h| h.join().expect("writer")).collect();
+        churner.join().expect("churner");
+        oracles
+    });
+
+    db.compact_all().expect("final compact");
+    let mut union: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for oracle in oracles {
+        union.extend(oracle);
+    }
+    let want: Vec<(Vec<u8>, Vec<u8>)> = union.into_iter().collect();
+    let all = db.scan(&ReadOptions::new(), b"", usize::MAX >> 1).expect("scan all");
+    assert_eq!(all, want, "final state diverges from the union of oracles");
+    assert!(
+        db.statistics().snapshot().subcompactions > 0,
+        "stress ran without ever splitting a compaction"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, max_shrink_iters: 200, ..ProptestConfig::default() })]
 
