@@ -354,6 +354,9 @@ pub struct CompactionContext<'a> {
     pub table_options: TableBuilderOptions,
     /// Cut outputs at this size.
     pub target_file_size: u64,
+    /// Data blocks to prefetch ahead of the merge's read position
+    /// (0 disables compaction readahead).
+    pub readahead_blocks: usize,
     /// Allocator for output file numbers.
     pub next_file_number: &'a mut dyn FnMut() -> u64,
 }
@@ -451,18 +454,20 @@ pub fn run_compaction_range(
     if *input_level == 0 {
         for meta in inputs {
             let table = ctx.table_cache.get(meta.number)?;
-            children.push(Box::new(table.iter()));
+            children.push(Box::new(table.iter_with_readahead(ctx.readahead_blocks)));
         }
     } else if !inputs.is_empty() {
-        children.push(Box::new(crate::version::version::LevelIterator::new(
+        children.push(Box::new(crate::version::version::LevelIterator::new_with_readahead(
             inputs.clone(),
             ctx.table_cache.clone(),
+            ctx.readahead_blocks,
         )));
     }
     if !overlaps.is_empty() {
-        children.push(Box::new(crate::version::version::LevelIterator::new(
+        children.push(Box::new(crate::version::version::LevelIterator::new_with_readahead(
             overlaps.clone(),
             ctx.table_cache.clone(),
+            ctx.readahead_blocks,
         )));
     }
     let mut merged = MergingIterator::new(children);
@@ -779,6 +784,7 @@ mod tests {
             smallest_snapshot: MAX_SEQUENCE,
             table_options: TableBuilderOptions::default(),
             target_file_size: 1 << 20,
+            readahead_blocks: 0,
             next_file_number: &mut alloc,
         };
         let outcome = run_compaction(&mut ctx, &task).unwrap();
@@ -840,6 +846,7 @@ mod tests {
             smallest_snapshot: 5,
             table_options: TableBuilderOptions::default(),
             target_file_size: 1 << 20,
+            readahead_blocks: 0,
             next_file_number: &mut alloc,
         };
         let outcome = run_compaction(&mut ctx, &task).unwrap();

@@ -146,8 +146,16 @@ impl Db {
         // Faults injected by a wrapping fault env surface in the same LOG.
         env.set_event_listener(events.clone());
 
-        let block_cache =
-            (opts.block_cache_bytes > 0).then(|| BlockCache::new(opts.block_cache_bytes));
+        let block_cache = if opts.block_cache_bytes > 0 {
+            Some(BlockCache::with_config(crate::cache::CacheConfig {
+                capacity: opts.block_cache_bytes,
+                strict_capacity: opts.block_cache_strict_capacity,
+                high_pri_pool_ratio: opts.high_pri_pool_ratio,
+                ..crate::cache::CacheConfig::default()
+            })?)
+        } else {
+            None
+        };
         let table_cache = TableCache::new_with_stats(
             env.clone(),
             path.to_string(),
@@ -155,6 +163,7 @@ impl Db {
             block_cache.clone(),
             Some(stats.clone()),
             opts.max_open_files,
+            opts.readahead_blocks,
         );
         let mut versions = VersionSet::new(
             env.clone(),
@@ -359,7 +368,7 @@ impl Db {
             }
             return Ok(hit);
         }
-        match version.get(&self.inner.table_cache, key, seq)? {
+        match version.get_opt(&self.inner.table_cache, key, seq, ropts.fill_cache)? {
             GetResult::Found(v) => {
                 self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
                 Ok(Some(v))
@@ -476,9 +485,23 @@ impl Db {
                 .env_faults_injected
                 .store(faults.injected_total(), Ordering::Relaxed);
         }
-        let (hits, misses) = self.cache_hit_miss();
-        self.inner.stats.block_cache_hits.store(hits, Ordering::Relaxed);
-        self.inner.stats.block_cache_misses.store(misses, Ordering::Relaxed);
+        if let Some(cache) = &self.inner.block_cache {
+            let c = cache.stats();
+            let s = &self.inner.stats;
+            s.block_cache_hits.store(c.hits(), Ordering::Relaxed);
+            s.block_cache_misses.store(c.misses(), Ordering::Relaxed);
+            s.block_cache_data_hits.store(c.data_hits, Ordering::Relaxed);
+            s.block_cache_data_misses.store(c.data_misses, Ordering::Relaxed);
+            s.block_cache_index_hits.store(c.index_hits, Ordering::Relaxed);
+            s.block_cache_index_misses.store(c.index_misses, Ordering::Relaxed);
+            s.block_cache_filter_hits.store(c.filter_hits, Ordering::Relaxed);
+            s.block_cache_filter_misses.store(c.filter_misses, Ordering::Relaxed);
+            s.block_cache_singleflight_waits.store(c.singleflight_waits, Ordering::Relaxed);
+            s.block_cache_oversized_bypass.store(c.oversized_bypass, Ordering::Relaxed);
+            s.block_cache_pinned_bytes.store(c.pinned_bytes, Ordering::Relaxed);
+            s.readahead_issued.store(c.readahead_issued, Ordering::Relaxed);
+            s.readahead_useful.store(c.readahead_useful, Ordering::Relaxed);
+        }
         self.inner.stats.clone()
     }
 
@@ -533,6 +556,13 @@ impl Db {
         }
     }
 
+    /// The sticky background error, if any. While set, writes are refused
+    /// but reads keep serving; [`Db::resume`] clears recoverable errors.
+    #[must_use]
+    pub fn background_error(&self) -> Option<Error> {
+        self.inner.state.lock().bg_error.clone()
+    }
+
     /// Clears a recoverable background error and re-drives the pending
     /// work, blocking until the backlog drains (mirrors RocksDB's
     /// `DB::Resume`).
@@ -544,13 +574,6 @@ impl Db {
     ///   been fixed, or the fresh error if it has not.
     /// * Unrecoverable error (corruption): nothing is cleared and the
     ///   error is returned.
-    /// The sticky background error, if any. While set, writes are refused
-    /// but reads keep serving; [`Db::resume`] clears recoverable errors.
-    #[must_use]
-    pub fn background_error(&self) -> Option<Error> {
-        self.inner.state.lock().bg_error.clone()
-    }
-
     pub fn resume(&self) -> Result<()> {
         {
             let mut state = self.inner.state.lock();
@@ -1131,6 +1154,7 @@ impl DbInner {
                         smallest_snapshot,
                         table_options: table_options.clone(),
                         target_file_size: self.opts.compaction.target_file_size,
+                        readahead_blocks: self.opts.readahead_blocks,
                         next_file_number: &mut alloc,
                     };
                     run_compaction(&mut ctx, &task)
@@ -1405,6 +1429,7 @@ impl DbInner {
                 smallest_snapshot,
                 table_options: table_options.clone(),
                 target_file_size: self.opts.compaction.target_file_size,
+                readahead_blocks: self.opts.readahead_blocks,
                 next_file_number: &mut alloc,
             };
             run_compaction_range(&mut ctx, task, range)

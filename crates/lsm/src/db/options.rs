@@ -36,6 +36,16 @@ pub struct Options {
     pub bloom_bits_per_key: usize,
     /// Block cache capacity in bytes (0 disables the cache).
     pub block_cache_bytes: usize,
+    /// Fail inserts (serve blocks uncached) instead of overfilling when
+    /// the cache is full of pinned entries. Mirrors RocksDB's
+    /// `strict_capacity_limit`.
+    pub block_cache_strict_capacity: bool,
+    /// Fraction of the block cache reserved for index/filter blocks
+    /// (the high-priority pool), in `[0, 1]`.
+    pub high_pri_pool_ratio: f64,
+    /// Data blocks iterators prefetch ahead of the read position
+    /// (0 disables readahead). Compaction inherits the same depth.
+    pub readahead_blocks: usize,
     /// Max open table readers.
     pub max_open_files: usize,
     /// Compaction policy and thresholds.
@@ -91,6 +101,9 @@ impl Options {
             restart_interval: 16,
             bloom_bits_per_key: 10,
             block_cache_bytes: 32 * 1024 * 1024,
+            block_cache_strict_capacity: false,
+            high_pri_pool_ratio: 0.1,
+            readahead_blocks: 0,
             max_open_files: 500,
             compaction: CompactionParams::default(),
             l0_slowdown_trigger: 8,
@@ -158,15 +171,30 @@ impl Options {
         self.info_log = Some(config);
         self
     }
+
+    /// Sets the iterator/compaction readahead depth in data blocks.
+    #[must_use]
+    pub fn with_readahead_blocks(mut self, blocks: usize) -> Self {
+        self.readahead_blocks = blocks;
+        self
+    }
 }
 
 /// Per-read options.
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy)]
 pub struct ReadOptions {
     /// Read at this snapshot sequence instead of the latest state.
     pub snapshot_seq: Option<u64>,
-    /// Skip the block cache for this read (fill nor lookup).
+    /// Admit blocks read on behalf of this operation to the block cache
+    /// (and look them up there). `false` reads around the cache without
+    /// disturbing residency — for one-off scans over cold data.
     pub fill_cache: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ReadOptions {

@@ -560,6 +560,45 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_random_reads_decrypt_consistently() {
+        // The block fetcher's prefetch workers decrypt through the same
+        // shared `EncryptedRandomAccessFile` as foreground reads; heavily
+        // interleaved offsets must never corrupt either side's plaintext.
+        let (cfg, _) = config();
+        let env = MemEnv::new();
+        let payload: Vec<u8> =
+            (0..128 * 1024u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 7) as u8).collect();
+        {
+            let (mut f, _) = cfg.new_writable(&env, "f.sst", FileKind::Sst).unwrap();
+            f.append(&payload).unwrap();
+            f.sync().unwrap();
+        }
+        let r = cfg.open_random(&env, "f.sst", FileKind::Sst).unwrap();
+        let payload = Arc::new(payload);
+        let joins: Vec<_> = (0..8u64)
+            .map(|t| {
+                let r = r.clone();
+                let payload = payload.clone();
+                std::thread::spawn(move || {
+                    let mut x = t.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                    for _ in 0..200 {
+                        x ^= x >> 12;
+                        x ^= x << 25;
+                        x ^= x >> 27;
+                        let off = (x % (payload.len() as u64 - 4096)) as usize;
+                        let len = 1 + (x % 4096) as usize;
+                        let got = r.read_at(off as u64, len).unwrap();
+                        assert_eq!(&got[..], &payload[off..off + len], "offset {off} len {len}");
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
     fn ciphertext_differs_from_plaintext() {
         let (cfg, _) = config();
         let env = MemEnv::new();

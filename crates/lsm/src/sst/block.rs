@@ -126,6 +126,21 @@ impl Block {
         Block { data, restarts_offset, num_restarts }
     }
 
+    /// Wraps bytes that are *not* in the block entry format (e.g. a bloom
+    /// filter body) so they can live in the block cache. The result has no
+    /// parsed restarts and iterates as empty; use [`Block::raw_bytes`] to
+    /// get the payload back.
+    #[must_use]
+    pub fn from_raw_opaque(data: Bytes) -> Self {
+        Block { restarts_offset: data.len(), num_restarts: 0, data }
+    }
+
+    /// The underlying bytes (cheap clone sharing the same allocation).
+    #[must_use]
+    pub fn raw_bytes(&self) -> &Bytes {
+        &self.data
+    }
+
     /// Byte size of the block contents.
     #[must_use]
     pub fn size(&self) -> usize {

@@ -75,14 +75,24 @@ impl BloomFilterBuilder {
 }
 
 /// Queries a serialized bloom filter.
+///
+/// Backed by [`bytes::Bytes`] so a reader can share the allocation of a
+/// cached filter block instead of copying it (the block cache charges the
+/// bytes once; see [`crate::sst::fetcher::BlockFetcher`]).
 pub struct BloomFilterReader {
-    data: Vec<u8>,
+    data: bytes::Bytes,
 }
 
 impl BloomFilterReader {
     /// Wraps a filter block body.
     #[must_use]
     pub fn new(data: Vec<u8>) -> Self {
+        BloomFilterReader { data: data.into() }
+    }
+
+    /// Shares `data` without copying.
+    #[must_use]
+    pub fn from_bytes(data: bytes::Bytes) -> Self {
         BloomFilterReader { data }
     }
 

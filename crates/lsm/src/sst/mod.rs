@@ -19,12 +19,14 @@
 
 pub mod block;
 pub mod builder;
+pub mod fetcher;
 pub mod filter;
 pub mod format;
 pub mod reader;
 
 pub use block::{Block, BlockBuilder, BlockIter};
 pub use builder::TableBuilder;
+pub use fetcher::{BlockFetcher, FetchedBlock};
 pub use filter::{BloomFilterBuilder, BloomFilterReader};
 pub use format::{BlockHandle, Footer, TableProperties, FOOTER_LEN, TABLE_MAGIC};
 pub use reader::{Table, TableIterator};

@@ -1,16 +1,21 @@
 //! Opens and reads SST files: footer → index → (cached, decrypted) blocks.
+//!
+//! All block reads go through [`BlockFetcher`] (cache lookup →
+//! single-flight verified read), so a `Table` no longer owns private
+//! copies of its index and filter: they are cached, charged blocks pinned
+//! for the table's lifetime, and survive table-cache eviction as block
+//! cache hits on reopen.
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use shield_core::{perf, PerfCounter, PerfMetric};
-use shield_crypto::{crc32c, crc32c_extend, crc32c_unmask};
+use shield_core::{perf, PerfCounter};
 use shield_env::RandomAccessFile;
 
-use crate::cache::BlockCache;
+use crate::cache::{BlockCache, BlockKind};
 use crate::error::{Error, Result};
 use crate::iter::InternalIterator;
-use crate::sst::block::{Block, BlockIter};
+use crate::sst::block::BlockIter;
+use crate::sst::fetcher::{read_verified, BlockFetcher, FetchedBlock};
 use crate::sst::filter::BloomFilterReader;
 use crate::sst::format::{BlockHandle, Footer, TableProperties, BLOCK_TRAILER_LEN, FOOTER_LEN};
 use crate::types::{extract_user_key, make_lookup_key, SequenceNumber};
@@ -20,10 +25,12 @@ pub struct Table {
     file: Arc<dyn RandomAccessFile>,
     /// Unique id used as the block-cache key prefix (the file number).
     table_id: u64,
-    index: Arc<Block>,
-    filter: Option<BloomFilterReader>,
+    fetcher: Arc<BlockFetcher>,
+    /// Index block, pinned (and charged) for the table's lifetime.
+    index: FetchedBlock,
+    /// Filter block pin plus a reader sharing the block's allocation.
+    filter: Option<(FetchedBlock, BloomFilterReader)>,
     props: TableProperties,
-    cache: Option<Arc<BlockCache>>,
     /// Engine tickers (bloom_useful); `None` for standalone tables.
     stats: Option<Arc<crate::statistics::Statistics>>,
 }
@@ -47,23 +54,37 @@ impl Table {
         cache: Option<Arc<BlockCache>>,
         stats: Option<Arc<crate::statistics::Statistics>>,
     ) -> Result<Table> {
+        Self::open_with_fetcher(file, table_id, BlockFetcher::new(cache, 0), stats)
+    }
+
+    /// Opens a table over a shared fetcher (the normal engine path: one
+    /// fetcher per `TableCache`, so all tables share its cache, in-flight
+    /// table, and prefetch pool).
+    pub fn open_with_fetcher(
+        file: Arc<dyn RandomAccessFile>,
+        table_id: u64,
+        fetcher: Arc<BlockFetcher>,
+        stats: Option<Arc<crate::statistics::Statistics>>,
+    ) -> Result<Table> {
         let len = file.len()?;
         if (len as usize) < FOOTER_LEN {
             return Err(Error::Corruption("table smaller than footer".into()));
         }
         let footer_data = file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN)?;
         let footer = Footer::decode(&footer_data)?;
-        let index_raw = read_verified_block(file.as_ref(), footer.index)?;
-        let index = Arc::new(Block::from_raw(index_raw));
+        let index = fetcher.fetch(&file, table_id, footer.index, BlockKind::Index, true)?;
         let filter = if footer.filter.size > 0 {
-            let raw = read_verified_block(file.as_ref(), footer.filter)?;
-            Some(BloomFilterReader::new(raw.to_vec()))
+            let block = fetcher.fetch(&file, table_id, footer.filter, BlockKind::Filter, true)?;
+            let reader = BloomFilterReader::from_bytes(block.block().raw_bytes().clone());
+            Some((block, reader))
         } else {
             None
         };
-        let props_raw = read_verified_block(file.as_ref(), footer.properties)?;
+        // Properties are decoded once into owned fields; no reason to
+        // hold the raw block in cache.
+        let props_raw = read_verified(file.as_ref(), footer.properties)?;
         let props = TableProperties::decode(&props_raw)?;
-        Ok(Table { file, table_id, index, filter, props, cache, stats })
+        Ok(Table { file, table_id, fetcher, index, filter, props, stats })
     }
 
     /// Table-level metadata.
@@ -78,34 +99,26 @@ impl Table {
         self.table_id
     }
 
-    /// Loads a data block via the cache.
-    fn data_block(&self, handle: BlockHandle) -> Result<Arc<Block>> {
-        if let Some(cache) = &self.cache {
-            let key = (self.table_id, handle.offset);
-            let t = perf::timer();
-            let cached = cache.get(&key);
-            perf::add_elapsed(PerfMetric::CacheLookup, t);
-            if let Some(block) = cached {
-                return Ok(block);
-            }
-            let raw = read_verified_block(self.file.as_ref(), handle)?;
-            let block = Arc::new(Block::from_raw(raw));
-            cache.insert(key, block.clone(), block.size());
-            Ok(block)
-        } else {
-            let raw = read_verified_block(self.file.as_ref(), handle)?;
-            Ok(Arc::new(Block::from_raw(raw)))
-        }
+    /// Loads a data block through the fetcher.
+    fn data_block(&self, handle: BlockHandle, fill_cache: bool) -> Result<FetchedBlock> {
+        self.fetcher.fetch(&self.file, self.table_id, handle, BlockKind::Data, fill_cache)
     }
 
     /// Point lookup: returns the first entry for `user_key` visible at
     /// `seq`, as `(internal_key, value)`, or `None`.
-    pub fn get(
+    pub fn get(&self, user_key: &[u8], seq: SequenceNumber) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        self.get_opt(user_key, seq, true)
+    }
+
+    /// [`Table::get`] with cache-admission control (`fill_cache = false`
+    /// reads around the cache without disturbing residency).
+    pub fn get_opt(
         &self,
         user_key: &[u8],
         seq: SequenceNumber,
+        fill_cache: bool,
     ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
-        if let Some(filter) = &self.filter {
+        if let Some((_, filter)) = &self.filter {
             perf::incr(PerfCounter::BloomProbes, 1);
             if !filter.may_contain(user_key) {
                 if let Some(stats) = &self.stats {
@@ -115,14 +128,14 @@ impl Table {
             }
         }
         let lookup = make_lookup_key(user_key, seq);
-        let mut index_iter = self.index.iter();
+        let mut index_iter = self.index.block().iter();
         index_iter.seek(&lookup);
         if !index_iter.valid() {
             return Ok(None);
         }
         let handle = BlockHandle::decode_varint(index_iter.value())?;
-        let block = self.data_block(handle)?;
-        let mut it = block.iter();
+        let block = self.data_block(handle, fill_cache)?;
+        let mut it = block.block().iter();
         it.seek(&lookup);
         if it.valid() && extract_user_key(it.key()) == user_key {
             return Ok(Some((it.key().to_vec(), it.value().to_vec())));
@@ -132,8 +145,8 @@ impl Table {
         index_iter.next();
         if index_iter.valid() {
             let handle = BlockHandle::decode_varint(index_iter.value())?;
-            let block = self.data_block(handle)?;
-            let mut it = block.iter();
+            let block = self.data_block(handle, fill_cache)?;
+            let mut it = block.block().iter();
             it.seek(&lookup);
             if it.valid() && extract_user_key(it.key()) == user_key {
                 return Ok(Some((it.key().to_vec(), it.value().to_vec())));
@@ -145,7 +158,7 @@ impl Table {
     /// True if the bloom filter rules out `user_key` (used by stats).
     #[must_use]
     pub fn filter_rules_out(&self, user_key: &[u8]) -> bool {
-        self.filter.as_ref().is_some_and(|f| !f.may_contain(user_key))
+        self.filter.as_ref().is_some_and(|(_, f)| !f.may_contain(user_key))
     }
 
     /// Per-data-block `(last user key, stored bytes)` spans from the
@@ -156,7 +169,7 @@ impl Table {
     /// real user key.
     pub fn index_spans(&self) -> Result<Vec<(Vec<u8>, u64)>> {
         let mut spans = Vec::new();
-        let mut it = self.index.iter();
+        let mut it = self.index.block().iter();
         it.seek_to_first();
         while it.valid() {
             let handle = BlockHandle::decode_varint(it.value())?;
@@ -169,48 +182,44 @@ impl Table {
         Ok(spans)
     }
 
-    /// A full-table iterator.
+    /// A full-table iterator with the fetcher's default readahead depth.
     #[must_use]
     pub fn iter(self: &Arc<Self>) -> TableIterator {
+        self.iter_with_readahead(self.fetcher.readahead_blocks())
+    }
+
+    /// A full-table iterator prefetching up to `readahead_blocks` data
+    /// blocks ahead of the read position (0 disables readahead).
+    #[must_use]
+    pub fn iter_with_readahead(self: &Arc<Self>, readahead_blocks: usize) -> TableIterator {
         TableIterator {
             table: self.clone(),
-            index_iter: self.index.iter(),
+            index_iter: self.index.block().iter(),
             data_iter: None,
+            data_pin: None,
+            readahead_blocks,
+            prefetch_watermark: 0,
             status: Ok(()),
         }
     }
 }
 
-/// Reads a block and verifies its trailer CRC.
-fn read_verified_block(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Bytes> {
-    perf::incr(PerfCounter::BlocksRead, 1);
-    let total = handle.size as usize + BLOCK_TRAILER_LEN;
-    let raw = file.read_at(handle.offset, total)?;
-    if raw.len() < total {
-        return Err(Error::Corruption("block truncated".into()));
-    }
-    let contents = raw.slice(..handle.size as usize);
-    let trailer = &raw[handle.size as usize..];
-    let compression = trailer[0];
-    let stored = u32::from_le_bytes([trailer[1], trailer[2], trailer[3], trailer[4]]);
-    let actual = crc32c_extend(crc32c(&contents), &[compression]);
-    if crc32c_unmask(stored) != actual {
-        return Err(Error::Corruption(format!(
-            "block checksum mismatch at offset {}",
-            handle.offset
-        )));
-    }
-    if compression != crate::sst::format::COMPRESSION_NONE {
-        return Err(Error::Corruption(format!("unsupported compression {compression}")));
-    }
-    Ok(contents)
-}
-
 /// Two-level iterator: index entries → data blocks.
+///
+/// Holds a pin on the current data block (so the cache cannot evict it
+/// mid-iteration) and, when readahead is enabled, issues bounded prefetch
+/// of upcoming blocks each time it crosses into a new one.
 pub struct TableIterator {
     table: Arc<Table>,
     index_iter: BlockIter,
     data_iter: Option<BlockIter>,
+    /// Cache pin for the block `data_iter` walks (`None` when uncached).
+    data_pin: Option<FetchedBlock>,
+    /// How many blocks ahead to prefetch (0 = off).
+    readahead_blocks: usize,
+    /// File offset up to which prefetch has been issued, so each block is
+    /// requested at most once per forward pass.
+    prefetch_watermark: u64,
     status: Result<()>,
 }
 
@@ -218,14 +227,46 @@ impl TableIterator {
     /// Loads the data block the index currently points at.
     fn init_data_block(&mut self) {
         self.data_iter = None;
+        self.data_pin = None;
         if !self.index_iter.valid() {
             return;
         }
         match BlockHandle::decode_varint(self.index_iter.value())
-            .and_then(|h| self.table.data_block(h))
+            .and_then(|h| self.table.data_block(h, true))
         {
-            Ok(block) => self.data_iter = Some(block.iter()),
+            Ok(block) => {
+                self.data_iter = Some(block.block().iter());
+                self.data_pin = Some(block);
+                self.issue_readahead();
+            }
             Err(e) => self.status = Err(e),
+        }
+    }
+
+    /// Queues prefetch for up to `readahead_blocks` index entries past the
+    /// current one. Uses a fresh iterator over the (pinned) index block so
+    /// the read position is untouched; the watermark keeps a forward scan
+    /// from re-requesting blocks it already asked for.
+    fn issue_readahead(&mut self) {
+        if self.readahead_blocks == 0 || !self.index_iter.valid() {
+            return;
+        }
+        let mut it = self.table.index.block().iter();
+        it.seek(self.index_iter.key());
+        if !it.valid() {
+            return;
+        }
+        for _ in 0..self.readahead_blocks {
+            it.next();
+            if !it.valid() {
+                return;
+            }
+            let Ok(handle) = BlockHandle::decode_varint(it.value()) else { return };
+            if handle.offset <= self.prefetch_watermark {
+                continue;
+            }
+            self.prefetch_watermark = handle.offset;
+            self.table.fetcher.prefetch(&self.table.file, self.table.table_id, handle);
         }
     }
 
@@ -235,6 +276,7 @@ impl TableIterator {
         while self.data_iter.as_ref().is_none_or(|d| !d.valid()) {
             if !self.index_iter.valid() || self.status.is_err() {
                 self.data_iter = None;
+                self.data_pin = None;
                 return;
             }
             self.index_iter.next();
@@ -412,6 +454,70 @@ mod tests {
         let _ = t.get(b"key000100", 100).unwrap();
         let (h1, _) = cache.hit_miss();
         assert!(h1 > h0, "second read should hit the cache");
+    }
+
+    #[test]
+    fn index_and_filter_are_cached_and_pinned() {
+        let env = MemEnv::new();
+        {
+            let t = build_table(&env, "t.sst", 1000, 512);
+            drop(t);
+        }
+        let cache = BlockCache::new(1 << 20);
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t = Arc::new(Table::open(file, 7, Some(cache.clone())).unwrap());
+        let s = cache.stats();
+        assert_eq!(s.index_misses, 1, "index block admitted via fetcher");
+        assert_eq!(s.filter_misses, 1, "filter block admitted via fetcher");
+        assert!(s.pinned_bytes > 0, "index/filter pins are charged");
+        assert!(cache.usage() as u64 >= s.pinned_bytes);
+        // Reopening the same file hits the cache for both blocks.
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t2 = Arc::new(Table::open(file, 7, Some(cache.clone())).unwrap());
+        let s = cache.stats();
+        assert_eq!((s.index_hits, s.filter_hits), (1, 1));
+        drop(t);
+        drop(t2);
+        assert_eq!(cache.stats().pinned_bytes, 0, "pins released with tables");
+    }
+
+    #[test]
+    fn fill_cache_false_reads_around_cache() {
+        let env = MemEnv::new();
+        {
+            let t = build_table(&env, "t.sst", 1000, 512);
+            drop(t);
+        }
+        let cache = BlockCache::new(1 << 20);
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t = Arc::new(Table::open(file, 7, Some(cache.clone())).unwrap());
+        let before = cache.len();
+        let hit = t.get_opt(b"key000500", 100, false).unwrap().unwrap();
+        assert_eq!(hit.1, b"value-500");
+        assert_eq!(cache.len(), before, "no-fill get must not admit data blocks");
+    }
+
+    #[test]
+    fn readahead_iterator_scans_correctly() {
+        let env = MemEnv::new();
+        {
+            let t = build_table(&env, "t.sst", 500, 256);
+            drop(t);
+        }
+        let cache = BlockCache::new(1 << 20);
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
+        let t = Arc::new(Table::open_with_fetcher(file, 7, fetcher, None).unwrap());
+        let mut it = t.iter(); // inherits readahead depth 4
+        it.seek_to_first();
+        let mut count = 0;
+        while it.valid() {
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 500);
+        it.status().unwrap();
+        assert!(cache.stats().readahead_issued > 0, "scan should issue prefetch");
     }
 
     #[test]

@@ -130,6 +130,30 @@ tickers! {
         block_cache_hits,
         /// Block-cache lifetime misses, mirrored from the cache.
         block_cache_misses,
+        /// Data-block cache hits, mirrored from the cache.
+        block_cache_data_hits,
+        /// Data-block cache misses, mirrored from the cache.
+        block_cache_data_misses,
+        /// Index-block cache hits, mirrored from the cache.
+        block_cache_index_hits,
+        /// Index-block cache misses, mirrored from the cache.
+        block_cache_index_misses,
+        /// Filter-block cache hits, mirrored from the cache.
+        block_cache_filter_hits,
+        /// Filter-block cache misses, mirrored from the cache.
+        block_cache_filter_misses,
+        /// Misses that waited on another thread's in-flight read instead
+        /// of issuing their own (single-flight coalescing).
+        block_cache_singleflight_waits,
+        /// Inserts larger than a cache shard, served uncached.
+        block_cache_oversized_bypass,
+        /// Bytes currently pinned in the cache by in-use handles
+        /// (open tables' index/filter blocks, live iterators).
+        block_cache_pinned_bytes,
+        /// Prefetch requests issued by iterator/compaction readahead.
+        readahead_issued,
+        /// Prefetched blocks that were subsequently hit.
+        readahead_useful,
         /// Storage faults injected by a fault-injection env, mirrored from
         /// [`shield_env::Env::fault_stats`].
         env_faults_injected,
@@ -195,6 +219,6 @@ mod tests {
         for (n, _) in &counters {
             assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");
         }
-        assert_eq!(counters.len() + gauges.len(), 27);
+        assert_eq!(counters.len() + gauges.len(), 38);
     }
 }

@@ -13,7 +13,7 @@ use shield_env::{Env, FileKind};
 use crate::cache::BlockCache;
 use crate::encryption::EncryptionConfig;
 use crate::error::Result;
-use crate::sst::Table;
+use crate::sst::{BlockFetcher, Table};
 use crate::version::filenames::sst_file_name;
 
 struct Inner {
@@ -22,11 +22,14 @@ struct Inner {
 }
 
 /// An LRU cache of open table readers.
+///
+/// Owns the engine's one [`BlockFetcher`]: every table opened here shares
+/// its block cache, single-flight table, and prefetch pool.
 pub struct TableCache {
     env: Arc<dyn Env>,
     db_path: String,
     encryption: Option<EncryptionConfig>,
-    block_cache: Option<Arc<BlockCache>>,
+    fetcher: Arc<BlockFetcher>,
     stats: Option<Arc<crate::statistics::Statistics>>,
     capacity: usize,
     inner: Mutex<Inner>,
@@ -42,11 +45,12 @@ impl TableCache {
         block_cache: Option<Arc<BlockCache>>,
         capacity: usize,
     ) -> Arc<Self> {
-        Self::new_with_stats(env, db_path, encryption, block_cache, None, capacity)
+        Self::new_with_stats(env, db_path, encryption, block_cache, None, capacity, 0)
     }
 
     /// [`TableCache::new`] with an engine ticker sink handed to every
-    /// opened [`Table`] (for `bloom_useful` accounting).
+    /// opened [`Table`] (for `bloom_useful` accounting) and a default
+    /// readahead depth for iterators over these tables.
     #[must_use]
     pub fn new_with_stats(
         env: Arc<dyn Env>,
@@ -55,16 +59,23 @@ impl TableCache {
         block_cache: Option<Arc<BlockCache>>,
         stats: Option<Arc<crate::statistics::Statistics>>,
         capacity: usize,
+        readahead_blocks: usize,
     ) -> Arc<Self> {
         Arc::new(TableCache {
             env,
             db_path,
             encryption,
-            block_cache,
+            fetcher: BlockFetcher::new(block_cache, readahead_blocks),
             stats,
             capacity: capacity.max(4),
             inner: Mutex::new(Inner { tables: HashMap::new(), tick: 0 }),
         })
+    }
+
+    /// The shared fetcher all tables opened by this cache read through.
+    #[must_use]
+    pub fn fetcher(&self) -> &Arc<BlockFetcher> {
+        &self.fetcher
     }
 
     /// Returns the open table for `file_number`, opening it if needed.
@@ -84,10 +95,10 @@ impl TableCache {
             Some(cfg) => cfg.open_random(self.env.as_ref(), &path, FileKind::Sst)?,
             None => self.env.new_random_access_file(&path, FileKind::Sst)?,
         };
-        let table = Arc::new(Table::open_with_stats(
+        let table = Arc::new(Table::open_with_fetcher(
             file,
             file_number,
-            self.block_cache.clone(),
+            self.fetcher.clone(),
             self.stats.clone(),
         )?);
         let mut inner = self.inner.lock();

@@ -68,12 +68,26 @@ impl Version {
         user_key: &[u8],
         seq: SequenceNumber,
     ) -> Result<GetResult> {
+        self.get_opt(table_cache, user_key, seq, true)
+    }
+
+    /// [`Version::get`] with cache-admission control (`fill_cache = false`
+    /// reads around the block cache).
+    pub fn get_opt(
+        &self,
+        table_cache: &TableCache,
+        user_key: &[u8],
+        seq: SequenceNumber,
+        fill_cache: bool,
+    ) -> Result<GetResult> {
         // L0: newest file first; files may overlap.
         for meta in &self.files[0] {
             if user_key < meta.smallest_user_key() || user_key > meta.largest_user_key() {
                 continue;
             }
-            if let Some(result) = self.get_in_file(table_cache, meta, user_key, seq)? {
+            if let Some(result) =
+                self.get_in_file(table_cache, meta, user_key, seq, fill_cache)?
+            {
                 return Ok(result);
             }
         }
@@ -87,7 +101,9 @@ impl Version {
             if idx >= files.len() || user_key < files[idx].smallest_user_key() {
                 continue;
             }
-            if let Some(result) = self.get_in_file(table_cache, &files[idx], user_key, seq)? {
+            if let Some(result) =
+                self.get_in_file(table_cache, &files[idx], user_key, seq, fill_cache)?
+            {
                 return Ok(result);
             }
         }
@@ -100,9 +116,10 @@ impl Version {
         meta: &FileMeta,
         user_key: &[u8],
         seq: SequenceNumber,
+        fill_cache: bool,
     ) -> Result<Option<GetResult>> {
         let table = table_cache.get(meta.number)?;
-        match table.get(user_key, seq)? {
+        match table.get_opt(user_key, seq, fill_cache)? {
             None => Ok(None),
             Some((ikey, value)) => {
                 debug_assert_eq!(extract_user_key(&ikey), user_key);
@@ -167,6 +184,8 @@ pub struct LevelIterator {
     table_cache: Arc<TableCache>,
     file_index: usize,
     current: Option<crate::sst::TableIterator>,
+    /// Per-iterator readahead override; `None` uses the fetcher default.
+    readahead_blocks: Option<usize>,
     status: Result<()>,
 }
 
@@ -175,7 +194,33 @@ impl LevelIterator {
     /// by smallest key.
     #[must_use]
     pub fn new(files: Vec<Arc<FileMeta>>, table_cache: Arc<TableCache>) -> Self {
-        LevelIterator { files, table_cache, file_index: 0, current: None, status: Ok(()) }
+        LevelIterator {
+            files,
+            table_cache,
+            file_index: 0,
+            current: None,
+            readahead_blocks: None,
+            status: Ok(()),
+        }
+    }
+
+    /// [`LevelIterator::new`] with an explicit readahead depth (used by
+    /// compaction, whose strictly sequential scans benefit from deeper
+    /// prefetch than point-query-heavy foreground iterators).
+    #[must_use]
+    pub fn new_with_readahead(
+        files: Vec<Arc<FileMeta>>,
+        table_cache: Arc<TableCache>,
+        readahead_blocks: usize,
+    ) -> Self {
+        LevelIterator {
+            files,
+            table_cache,
+            file_index: 0,
+            current: None,
+            readahead_blocks: Some(readahead_blocks),
+            status: Ok(()),
+        }
     }
 
     fn open_file(&mut self, index: usize) {
@@ -185,7 +230,12 @@ impl LevelIterator {
             return;
         }
         match self.table_cache.get(self.files[index].number) {
-            Ok(table) => self.current = Some(table.iter()),
+            Ok(table) => {
+                self.current = Some(match self.readahead_blocks {
+                    Some(k) => table.iter_with_readahead(k),
+                    None => table.iter(),
+                });
+            }
             Err(e) => self.status = Err(e),
         }
     }

@@ -60,6 +60,9 @@ pub struct PerfContext {
     pub bloom_probes: u64,
     /// Cipher contexts initialised (key schedule + nonce derivation).
     pub cipher_inits: u64,
+    /// Block-cache misses that waited on another thread's in-flight read
+    /// instead of issuing their own (single-flight coalescing).
+    pub singleflight_waits: u64,
 }
 
 impl PerfContext {
@@ -77,6 +80,7 @@ impl PerfContext {
         blocks_read: 0,
         bloom_probes: 0,
         cipher_inits: 0,
+        singleflight_waits: 0,
     };
 
     /// Sum of all timed components, in nanoseconds.
@@ -98,7 +102,7 @@ impl PerfContext {
     }
 
     /// Field (name, value) pairs, for rendering. Times first, then counts.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("wal_append_nanos", self.wal_append_nanos),
             ("wal_sync_nanos", self.wal_sync_nanos),
@@ -113,6 +117,7 @@ impl PerfContext {
             ("blocks_read", self.blocks_read),
             ("bloom_probes", self.bloom_probes),
             ("cipher_inits", self.cipher_inits),
+            ("singleflight_waits", self.singleflight_waits),
         ]
     }
 }
@@ -138,6 +143,7 @@ pub enum PerfCounter {
     BlocksRead,
     BloomProbes,
     CipherInits,
+    SingleflightWaits,
 }
 
 thread_local! {
@@ -208,6 +214,7 @@ pub fn incr(counter: PerfCounter, n: u64) {
             PerfCounter::BlocksRead => ctx.blocks_read += n,
             PerfCounter::BloomProbes => ctx.bloom_probes += n,
             PerfCounter::CipherInits => ctx.cipher_inits += n,
+            PerfCounter::SingleflightWaits => ctx.singleflight_waits += n,
         }
         c.set(ctx);
     });

@@ -19,13 +19,21 @@
 #           the concurrent writer/iterator/snapshot stress with
 #           max_subcompactions=4, and the bench binary's engagement
 #           check over simulated remote storage (see DESIGN.md §4f).
+#   tier 6: read-path — unified BlockFetcher gate: the cache-model
+#           equivalence/pinning/single-flight/readahead suite, plus the
+#           readpath bench's engagement check over simulated remote
+#           storage (8-thread hot-key misses must coalesce, readahead
+#           must prefetch) in all three encryption modes
+#           (see DESIGN.md §4g).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
 #           needless_range_loop over the crypto crate so hot loops stay
 #           iterator-shaped, and clippy -D warnings over the
 #           observability crate shield-core so the zero-dep types stay
-#           clean (both skipped if clippy is unavailable).
+#           clean, and clippy -D warnings over shield-lsm so the
+#           rewritten cache/fetcher read path stays clean (all skipped
+#           if clippy is unavailable).
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick skips the release build and the tiers that need it
@@ -71,6 +79,14 @@ if [[ $quick -eq 0 ]]; then
         echo "skipped (cargo clippy unavailable)"
     fi
 
+    echo "== lint: clippy gate (shield-lsm cache/fetcher read path) =="
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy --release -q -p shield-lsm -- -D warnings
+        echo "ok"
+    else
+        echo "skipped (cargo clippy unavailable)"
+    fi
+
     echo "== tier 1a: release build =="
     cargo build --release
 fi
@@ -108,6 +124,13 @@ cargo test -q --test subcompaction_equivalence
 cargo test -q --test model_check concurrent_workload_under_parallel_compactions_matches_oracle
 if [[ $quick -eq 0 ]]; then
     cargo run --release -q -p shield-bench --bin subcompaction -- --smoke --out /tmp/BENCH_subcompaction_smoke.json
+fi
+echo "ok"
+
+echo "== tier 6: read-path (unified fetcher + cache model + readahead) =="
+cargo test -q --test read_path
+if [[ $quick -eq 0 ]]; then
+    cargo run --release -q -p shield-bench --bin readpath -- --smoke --out /tmp/BENCH_readpath_smoke.json
 fi
 echo "ok"
 

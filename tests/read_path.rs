@@ -1,0 +1,432 @@
+//! Integration coverage for the unified read path (PR 5):
+//!
+//! - the sharded intrusive-LRU block cache checked against a reference
+//!   `HashMap` + `VecDeque` model under arbitrary op sequences (proptest),
+//! - pinned-handle charge accounting (a held handle blocks eviction but
+//!   stays charged),
+//! - single-flight miss coalescing: N threads missing the same block issue
+//!   exactly one underlying read — proven twice, once by `MemEnv` I/O op
+//!   counters and once by a `FaultInjectionEnv` armed with a *single*
+//!   read error that all N threads must observe,
+//! - iterator readahead yielding byte-identical scans, and
+//! - a multi-threaded stress run whose post-join state must satisfy the
+//!   cache's capacity and pin invariants.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use shield_env::{
+    Env, EnvResult, FaultInjectionEnv, FaultOp, FileKind, MemEnv, RandomAccessFile,
+};
+use shield_lsm::cache::{BlockCache, BlockKind, CacheConfig, CacheKey};
+use shield_lsm::iter::InternalIterator;
+use shield_lsm::sst::builder::{TableBuilder, TableBuilderOptions};
+use shield_lsm::sst::fetcher::read_verified;
+use shield_lsm::sst::format::{BlockHandle, Footer, FOOTER_LEN};
+use shield_lsm::sst::{Block, BlockFetcher, Table};
+use shield_lsm::types::{make_internal_key, ValueType};
+
+/// A minimal well-formed block body of `n` bytes (one restart at 0).
+fn test_block(n: usize) -> Arc<Block> {
+    let mut data = vec![0u8; n.max(8)];
+    let len = data.len();
+    data[len - 8..len - 4].copy_from_slice(&0u32.to_le_bytes());
+    data[len - 4..].copy_from_slice(&1u32.to_le_bytes());
+    Arc::new(Block::from_raw(data.into()))
+}
+
+/// Builds an SST of `n` sequential keys with small blocks so scans cross
+/// many block boundaries.
+fn write_sst(env: &dyn Env, path: &str, n: u32) {
+    let file = env.new_writable_file(path, FileKind::Sst).unwrap();
+    let opts = TableBuilderOptions { block_size: 256, ..TableBuilderOptions::default() };
+    let mut b = TableBuilder::new(file, opts);
+    for i in 0..n {
+        let ik = make_internal_key(format!("key{i:06}").as_bytes(), 10, ValueType::Value);
+        b.add(&ik, format!("value-{i}").as_bytes()).unwrap();
+    }
+    b.finish().unwrap();
+}
+
+/// Decodes the footer and returns the first data block's handle.
+fn first_data_handle(file: &Arc<dyn RandomAccessFile>) -> BlockHandle {
+    let len = file.len().unwrap();
+    let footer =
+        Footer::decode(&file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN).unwrap()).unwrap();
+    let index = Arc::new(Block::from_raw(read_verified(file.as_ref(), footer.index).unwrap()));
+    let mut it = index.iter();
+    it.seek_to_first();
+    BlockHandle::decode_varint(it.value()).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Reference-model equivalence (proptest)
+// ---------------------------------------------------------------------------
+
+const MODEL_CAPACITY: usize = 1000;
+
+/// The executable spec for a single-shard, no-high-pool, non-strict LRU
+/// whose handles are dropped immediately: a map plus an MRU-front deque.
+struct RefLru {
+    map: HashMap<CacheKey, usize>,
+    lru: VecDeque<CacheKey>,
+    usage: usize,
+}
+
+impl RefLru {
+    fn new() -> Self {
+        RefLru { map: HashMap::new(), lru: VecDeque::new(), usage: 0 }
+    }
+
+    fn touch(&mut self, key: CacheKey) {
+        let pos = self.lru.iter().position(|k| *k == key).expect("listed");
+        self.lru.remove(pos);
+        self.lru.push_front(key);
+    }
+
+    fn lookup(&mut self, key: CacheKey) -> bool {
+        if self.map.contains_key(&key) {
+            self.touch(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: CacheKey, charge: usize) {
+        if self.map.contains_key(&key) {
+            // Duplicate insert keeps the resident copy (and its original
+            // charge) and only refreshes recency.
+            self.touch(key);
+            return;
+        }
+        if charge > MODEL_CAPACITY {
+            return; // oversized bypass
+        }
+        while self.usage + charge > MODEL_CAPACITY {
+            let victim = self.lru.pop_back().expect("nothing pinned in the model");
+            self.usage -= self.map.remove(&victim).expect("mapped");
+        }
+        self.lru.push_front(key);
+        self.map.insert(key, charge);
+        self.usage += charge;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every op sequence drives the real single-shard cache and the
+    /// reference model in lockstep; hits, usage, and residency must agree
+    /// after every step.
+    #[test]
+    fn cache_matches_reference_lru(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..400)
+    ) {
+        let cache = BlockCache::with_config(CacheConfig {
+            capacity: MODEL_CAPACITY,
+            strict_capacity: false,
+            high_pri_pool_ratio: 0.0, // one list, like the model
+            shard_bits: 0,
+        })
+        .unwrap();
+        let mut model = RefLru::new();
+        for (i, &(k, c, is_insert)) in ops.iter().enumerate() {
+            let key: CacheKey = (u64::from(k % 24), 0);
+            // Charges 50..=1050: some entries oversize the whole cache.
+            let charge = 50 + usize::from(c % 11) * 100;
+            if is_insert {
+                drop(cache.insert(key, &test_block(charge), charge, BlockKind::Data, false));
+                model.insert(key, charge);
+            } else {
+                let hit = cache.lookup(&key, BlockKind::Data).is_some();
+                prop_assert_eq!(hit, model.lookup(key), "op {}: hit divergence on {:?}", i, key);
+            }
+            prop_assert_eq!(cache.usage(), model.usage, "op {}: usage divergence", i);
+            prop_assert_eq!(cache.len(), model.map.len(), "op {}: len divergence", i);
+        }
+        for key in model.map.keys() {
+            prop_assert!(cache.contains(key), "model key {:?} missing from cache", key);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned-handle accounting
+// ---------------------------------------------------------------------------
+
+/// Regression: a held handle must keep its entry resident *and charged*
+/// under eviction pressure, and release must restore the capacity bound.
+#[test]
+fn pinned_handle_blocks_eviction_but_stays_charged() {
+    let cache = BlockCache::with_config(CacheConfig {
+        capacity: 1000,
+        strict_capacity: false,
+        high_pri_pool_ratio: 0.0,
+        shard_bits: 0,
+    })
+    .unwrap();
+    let pin = cache.insert((9, 9), &test_block(300), 300, BlockKind::Data, false).unwrap();
+    for i in 0..100u64 {
+        drop(cache.insert((1, i), &test_block(100), 100, BlockKind::Data, false));
+    }
+    assert_eq!(cache.stats().pinned_bytes, 300);
+    assert!(cache.lookup(&(9, 9), BlockKind::Data).is_some(), "pinned entry evicted");
+    assert!(cache.usage() <= 1000, "pinned charge must count against capacity");
+    drop(pin);
+    // Drop the lookup pin too (the lookup above returned a fresh handle,
+    // dropped at end of its statement), then flood: now it can go.
+    for i in 100..200u64 {
+        drop(cache.insert((1, i), &test_block(100), 100, BlockKind::Data, false));
+    }
+    assert!(cache.lookup(&(9, 9), BlockKind::Data).is_none(), "unpinned entry survived flood");
+    assert_eq!(cache.stats().pinned_bytes, 0);
+    assert!(cache.usage() <= 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight coalescing
+// ---------------------------------------------------------------------------
+
+/// Holds the leader's read open until `expected_waits` other threads have
+/// parked on the in-flight entry, so the miss group is provably
+/// concurrent before the one underlying read completes.
+struct GatedFile {
+    inner: Arc<dyn RandomAccessFile>,
+    gate_offset: u64,
+    cache: Arc<BlockCache>,
+    expected_waits: u64,
+}
+
+impl RandomAccessFile for GatedFile {
+    fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        if offset == self.gate_offset {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.cache.counters().singleflight_waits.load(Ordering::Relaxed)
+                < self.expected_waits
+                && Instant::now() < deadline
+            {
+                std::thread::yield_now();
+            }
+        }
+        self.inner.read_at(offset, len)
+    }
+
+    fn len(&self) -> EnvResult<u64> {
+        self.inner.len()
+    }
+}
+
+const MISS_THREADS: usize = 8;
+
+fn spawn_miss_group(
+    fetcher: &Arc<BlockFetcher>,
+    file: &Arc<dyn RandomAccessFile>,
+    handle: BlockHandle,
+) -> Vec<shield_lsm::error::Result<Bytes>> {
+    let barrier = Arc::new(Barrier::new(MISS_THREADS));
+    let joins: Vec<_> = (0..MISS_THREADS)
+        .map(|_| {
+            let fetcher = fetcher.clone();
+            let file = file.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                fetcher
+                    .fetch(&file, 1, handle, BlockKind::Data, true)
+                    .map(|b| b.block().raw_bytes().clone())
+            })
+        })
+        .collect();
+    joins.into_iter().map(|j| j.join().unwrap()).collect()
+}
+
+/// Eight threads missing the same cold block must produce exactly one
+/// underlying read (counted by `MemEnv`'s per-kind I/O op stats) and
+/// seven single-flight waits.
+#[test]
+fn single_flight_coalesces_concurrent_misses() {
+    let env = MemEnv::new();
+    write_sst(&env, "t.sst", 400);
+    let raw = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+    let handle = first_data_handle(&raw);
+    let cache = BlockCache::new(1 << 20);
+    let fetcher = BlockFetcher::new(Some(cache.clone()), 0);
+    let gated: Arc<dyn RandomAccessFile> = Arc::new(GatedFile {
+        inner: raw,
+        gate_offset: handle.offset,
+        cache: cache.clone(),
+        expected_waits: MISS_THREADS as u64 - 1,
+    });
+
+    let before = env.io_stats().unwrap().snapshot();
+    let results = spawn_miss_group(&fetcher, &gated, handle);
+
+    let first = results[0].as_ref().expect("fetch failed");
+    for r in &results {
+        assert_eq!(r.as_ref().expect("fetch failed"), first, "threads saw different bytes");
+    }
+    let delta = env.io_stats().unwrap().snapshot().delta_since(&before);
+    assert_eq!(
+        delta.read_ops[FileKind::Sst.index()],
+        1,
+        "eight concurrent misses must coalesce into one read"
+    );
+    assert_eq!(
+        cache.counters().singleflight_waits.load(Ordering::Relaxed),
+        MISS_THREADS as u64 - 1
+    );
+    // The leader's block landed in the cache for everyone after.
+    assert!(cache.contains(&(1, handle.offset)));
+}
+
+/// Same shape, but the one underlying read fails: a `FaultInjectionEnv`
+/// armed with a *single* read error. All eight threads must observe that
+/// one error — the injection counter proves no second read was issued —
+/// and a later retry (fault disarmed) must succeed.
+#[test]
+fn single_flight_shares_one_injected_error() {
+    let mem = MemEnv::new();
+    write_sst(&mem, "t.sst", 400);
+    let fault = FaultInjectionEnv::new(Arc::new(mem));
+    let raw = fault.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+    let handle = first_data_handle(&raw);
+    let cache = BlockCache::new(1 << 20);
+    let fetcher = BlockFetcher::new(Some(cache.clone()), 0);
+    let gated: Arc<dyn RandomAccessFile> = Arc::new(GatedFile {
+        inner: raw,
+        gate_offset: handle.offset,
+        cache: cache.clone(),
+        expected_waits: MISS_THREADS as u64 - 1,
+    });
+
+    fault.error_n_times(FileKind::Sst, FaultOp::Read, 1);
+    let results = spawn_miss_group(&fetcher, &gated, handle);
+
+    for r in &results {
+        assert!(r.is_err(), "every coalesced thread must see the injected error");
+    }
+    assert_eq!(
+        fault.stats().injected_for(FaultOp::Read),
+        1,
+        "exactly one underlying read may be attempted"
+    );
+    assert!(!cache.contains(&(1, handle.offset)), "failed read must not be cached");
+    // The flight retired with its error; a fresh fetch retries and works.
+    let retry = fetcher.fetch(&gated, 1, handle, BlockKind::Data, true);
+    assert!(retry.is_ok(), "retry after transient fault failed: {:?}", retry.err());
+    assert!(cache.contains(&(1, handle.offset)));
+}
+
+// ---------------------------------------------------------------------------
+// Readahead
+// ---------------------------------------------------------------------------
+
+/// A readahead iterator must yield byte-identical entries to a plain one,
+/// and must actually issue prefetches while scanning.
+#[test]
+fn readahead_scan_yields_identical_entries() {
+    let env = MemEnv::new();
+    write_sst(&env, "t.sst", 500);
+    let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+
+    let plain = Arc::new(Table::open(file.clone(), 1, None).unwrap());
+    let cache = BlockCache::new(1 << 20);
+    let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
+    let ahead = Arc::new(Table::open_with_fetcher(file, 1, fetcher, None).unwrap());
+
+    let collect = |t: &Arc<Table>| {
+        let mut out = Vec::new();
+        let mut it = t.iter();
+        it.seek_to_first();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        it.status().unwrap();
+        out
+    };
+    let a = collect(&plain);
+    let b = collect(&ahead);
+    assert_eq!(a.len(), 500);
+    assert_eq!(a, b, "readahead changed scan results");
+    assert!(cache.stats().readahead_issued > 0, "depth-4 scan never prefetched");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent stress
+// ---------------------------------------------------------------------------
+
+/// Eight threads hammer a small sharded cache with mixed kinds, sizes,
+/// and held pins. Afterwards every invariant must hold: nothing pinned,
+/// usage within capacity, and the cache still serves inserts.
+#[test]
+fn concurrent_stress_keeps_cache_invariants() {
+    const CAPACITY: usize = 64 * 1024;
+    let cache = BlockCache::with_config(CacheConfig {
+        capacity: CAPACITY,
+        strict_capacity: false,
+        high_pri_pool_ratio: 0.2,
+        shard_bits: 2,
+    })
+    .unwrap();
+    let joins: Vec<_> = (0..8u64)
+        .map(|t| {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                // Deterministic per-thread xorshift mix.
+                let mut x = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t + 1);
+                let mut next = move || {
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                };
+                let mut held = VecDeque::new();
+                for _ in 0..4000 {
+                    let r = next();
+                    let key: CacheKey = (r % 96, 0);
+                    let kind = match r % 7 {
+                        0 => BlockKind::Index,
+                        1 => BlockKind::Filter,
+                        _ => BlockKind::Data,
+                    };
+                    if r % 3 == 0 {
+                        let charge = 200 + (r % 5) as usize * 100;
+                        if let Some(h) =
+                            cache.insert(key, &test_block(charge), charge, kind, false)
+                        {
+                            held.push_back(h);
+                        }
+                    } else if let Some(h) = cache.lookup(&key, kind) {
+                        held.push_back(h);
+                    }
+                    // Keep a rolling window of pins alive to exercise
+                    // pinned-entry eviction exclusion.
+                    while held.len() > 4 {
+                        held.pop_front();
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+    let s = cache.stats();
+    assert_eq!(s.pinned_bytes, 0, "all handles dropped, nothing may stay pinned");
+    assert!(
+        cache.usage() <= CAPACITY,
+        "usage {} exceeds capacity {} with no pins held",
+        cache.usage(),
+        CAPACITY
+    );
+    assert_eq!(cache.usage() as u64, s.usage_bytes);
+    // Still functional after the storm.
+    let h = cache.insert((1000, 0), &test_block(128), 128, BlockKind::Data, false);
+    assert!(h.is_some());
+}
