@@ -17,6 +17,7 @@ use shield_lsm::compaction::{
 };
 use shield_lsm::encryption::EncryptionConfig;
 use shield_lsm::error::Result;
+use shield_lsm::integrity::IntegrityOptions;
 use shield_lsm::memtable::{LookupResult, MemTable};
 use shield_lsm::types::SequenceNumber;
 use shield_lsm::version::table_cache::TableCache;
@@ -150,6 +151,7 @@ pub struct ReadOnlyInstance {
     env: Arc<dyn Env>,
     path: String,
     encryption: Option<EncryptionConfig>,
+    integrity: IntegrityOptions,
     table_cache: Arc<TableCache>,
     version: Version,
     mem: Arc<MemTable>,
@@ -163,17 +165,34 @@ impl ReadOnlyInstance {
         path: &str,
         encryption: Option<EncryptionConfig>,
     ) -> Result<Self> {
-        let table_cache = TableCache::new(
+        Self::open_with_integrity(env, path, encryption, IntegrityOptions::default())
+    }
+
+    /// [`ReadOnlyInstance::open`] with explicit integrity settings: the
+    /// engine-wide MAC key verifies authenticated plaintext files (SHIELD
+    /// files always verify with their own DEK's subkey).
+    pub fn open_with_integrity(
+        env: Arc<dyn Env>,
+        path: &str,
+        encryption: Option<EncryptionConfig>,
+        integrity: IntegrityOptions,
+    ) -> Result<Self> {
+        let table_cache = TableCache::new_with_stats(
             env.clone(),
             path.to_string(),
             encryption.clone(),
             None,
+            None,
             128,
+            0,
+            integrity,
+            None,
         );
         let mut instance = ReadOnlyInstance {
             env,
             path: path.to_string(),
             encryption,
+            integrity,
             table_cache,
             version: Version::new(),
             mem: Arc::new(MemTable::new(0)),
@@ -186,8 +205,12 @@ impl ReadOnlyInstance {
     /// Re-reads the manifest and replays live WALs, catching up to the
     /// primary's latest durable state.
     pub fn refresh(&mut self) -> Result<()> {
-        let (version, mut seq, log_number) =
-            VersionSet::load_read_only(self.env.as_ref(), &self.path, self.encryption.as_ref())?;
+        let (version, mut seq, log_number) = VersionSet::load_read_only(
+            self.env.as_ref(),
+            &self.path,
+            self.encryption.as_ref(),
+            self.integrity,
+        )?;
         let mem = Arc::new(MemTable::new(0));
         let mut wals: Vec<u64> = self
             .env
@@ -201,11 +224,14 @@ impl ReadOnlyInstance {
         wals.sort_unstable();
         for number in wals {
             let wal_path = shield_env::join_path(&self.path, &wal_file_name(number));
-            let file = match &self.encryption {
-                Some(cfg) => cfg.open_sequential(self.env.as_ref(), &wal_path, FileKind::Wal)?,
-                None => self.env.new_sequential_file(&wal_path, FileKind::Wal)?,
+            let (file, dek_mac) = match &self.encryption {
+                Some(cfg) => {
+                    cfg.open_sequential_with_mac(self.env.as_ref(), &wal_path, FileKind::Wal)?
+                }
+                None => (self.env.new_sequential_file(&wal_path, FileKind::Wal)?, None),
             };
-            let mut reader = LogReader::new(file);
+            let mut reader =
+                LogReader::with_integrity(file, Some(dek_mac.unwrap_or(self.integrity.key)));
             // The primary may still be appending; tolerate a torn tail and
             // even a mid-read race by stopping at the first anomaly.
             while let Ok(Some(record)) = reader.read_record() {

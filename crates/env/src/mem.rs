@@ -80,6 +80,17 @@ impl MemEnv {
         Ok(content)
     }
 
+    /// Replaces a file's content wholesale, marking it durable — the
+    /// tamper-injection primitive for the adversarial test suite (an
+    /// attacker with media access can rewrite anything).
+    pub fn set_raw_content(&self, path: &str, content: Vec<u8>) -> EnvResult<()> {
+        let f = self.get(path)?;
+        let mut g = f.write();
+        g.synced_len = content.len();
+        g.os_content = content;
+        Ok(())
+    }
+
     fn get(&self, path: &str) -> EnvResult<FileRef> {
         let inner = self.inner.lock();
         inner

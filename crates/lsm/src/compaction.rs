@@ -555,14 +555,18 @@ pub fn run_compaction_range(
             if builder.is_none() {
                 let number = (ctx.next_file_number)();
                 let path = shield_env::join_path(ctx.db_path, &sst_file_name(number));
-                let (file, dek_id) = match ctx.encryption {
+                let (file, dek_id, dek_mac) = match ctx.encryption {
                     Some(cfg) => {
-                        let (f, id) = cfg.new_writable(ctx.env.as_ref(), &path, FileKind::Sst)?;
-                        (f, Some(id))
+                        let (f, id, mac) =
+                            cfg.new_writable_with_mac(ctx.env.as_ref(), &path, FileKind::Sst)?;
+                        (f, Some(id), mac)
                     }
-                    None => (ctx.env.new_writable_file(&path, FileKind::Sst)?, None),
+                    None => (ctx.env.new_writable_file(&path, FileKind::Sst)?, None, None),
                 };
-                let opts = TableBuilderOptions { dek_id, ..ctx.table_options.clone() };
+                // `table_options.mac_key` carries the Hmac policy (engine
+                // key); encrypted outputs tag with their own DEK's subkey.
+                let mac_key = ctx.table_options.mac_key.map(|engine| dek_mac.unwrap_or(engine));
+                let opts = TableBuilderOptions { dek_id, mac_key, ..ctx.table_options.clone() };
                 builder = Some((number, TableBuilder::new(file, opts)));
             }
             let (_, b) = builder.as_mut().unwrap();

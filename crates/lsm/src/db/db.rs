@@ -156,6 +156,10 @@ impl Db {
         } else {
             None
         };
+        let integrity = crate::integrity::IntegrityOptions {
+            mode: opts.integrity,
+            key: opts.integrity_key,
+        };
         let table_cache = TableCache::new_with_stats(
             env.clone(),
             path.to_string(),
@@ -164,6 +168,8 @@ impl Db {
             Some(stats.clone()),
             opts.max_open_files,
             opts.readahead_blocks,
+            integrity,
+            Some(events.clone()),
         );
         let mut versions = VersionSet::new(
             env.clone(),
@@ -171,6 +177,7 @@ impl Db {
             opts.encryption.clone(),
             table_cache.clone(),
         );
+        versions.set_integrity(integrity);
         let exists = VersionSet::db_exists(env.as_ref(), path);
         if exists {
             if opts.error_if_exists {
@@ -328,7 +335,23 @@ impl Db {
         let op_start = std::time::Instant::now();
         let result = self.get_impl(ropts, key);
         self.inner.op_hists.get.record_elapsed(op_start);
+        if let Err(e) = &result {
+            self.park_if_unrecoverable(e);
+        }
         result
+    }
+
+    /// Fail-stop on unrecoverable foreground read errors: an integrity
+    /// violation (or corruption) seen by a get/scan parks the sticky
+    /// background error so writes stop too — compaction must never
+    /// launder data the read path already refused to serve.
+    fn park_if_unrecoverable(&self, e: &Error) {
+        if e.severity() == Severity::Unrecoverable {
+            let mut state = self.inner.state.lock();
+            if state.bg_error.is_none() {
+                self.inner.set_bg_error(&mut state, "read", e.clone());
+            }
+        }
     }
 
     fn get_impl(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
@@ -426,7 +449,10 @@ impl Db {
         // A read error mid-iteration leaves the iterator invalid with the
         // error parked in its status; a partial result must not pass as a
         // complete one.
-        it.status()?;
+        if let Err(e) = it.status() {
+            self.park_if_unrecoverable(&e);
+            return Err(e);
+        }
         Ok(out)
     }
 
@@ -703,11 +729,18 @@ impl DbInner {
     /// SHIELD is enabled).
     fn new_wal(&self, number: u64) -> Result<LogWriter> {
         let path = shield_env::join_path(&self.path, &wal_file_name(number));
-        let file = match &self.opts.encryption {
-            Some(cfg) => cfg.new_writable(self.env.as_ref(), &path, FileKind::Wal)?.0,
-            None => self.env.new_writable_file(&path, FileKind::Wal)?,
+        let (file, dek_mac) = match &self.opts.encryption {
+            Some(cfg) => {
+                let (f, _, mac) = cfg.new_writable_with_mac(self.env.as_ref(), &path, FileKind::Wal)?;
+                (f, mac)
+            }
+            None => (self.env.new_writable_file(&path, FileKind::Wal)?, None),
         };
-        Ok(LogWriter::new(file))
+        // Under Hmac, tag WAL records with the file DEK's subkey, or the
+        // engine key when the WAL is plaintext.
+        let mac_key = (self.opts.integrity == crate::integrity::Integrity::Hmac)
+            .then(|| dek_mac.unwrap_or(self.opts.integrity_key));
+        LogWriter::with_integrity(file, mac_key)
     }
 
     /// Group-commit body, run by the leader.
@@ -889,18 +922,20 @@ impl DbInner {
     /// Builds an L0 table from a memtable. Runs without the state lock.
     fn write_level0_table(&self, mem: &MemTable, number: u64) -> Result<FileMeta> {
         let path = shield_env::join_path(&self.path, &sst_file_name(number));
-        let (file, dek_id) = match &self.opts.encryption {
+        let (file, dek_id, dek_mac) = match &self.opts.encryption {
             Some(cfg) => {
-                let (f, id) = cfg.new_writable(self.env.as_ref(), &path, FileKind::Sst)?;
-                (f, Some(id))
+                let (f, id, mac) = cfg.new_writable_with_mac(self.env.as_ref(), &path, FileKind::Sst)?;
+                (f, Some(id), mac)
             }
-            None => (self.env.new_writable_file(&path, FileKind::Sst)?, None),
+            None => (self.env.new_writable_file(&path, FileKind::Sst)?, None, None),
         };
         let opts = TableBuilderOptions {
             block_size: self.opts.block_size,
             restart_interval: self.opts.restart_interval,
             bloom_bits_per_key: self.opts.bloom_bits_per_key,
             dek_id,
+            mac_key: (self.opts.integrity == crate::integrity::Integrity::Hmac)
+                .then(|| dek_mac.unwrap_or(self.opts.integrity_key)),
         };
         let mut builder = TableBuilder::new(file, opts);
         let mut it = mem.iter();
@@ -1096,6 +1131,10 @@ impl DbInner {
             restart_interval: self.opts.restart_interval,
             bloom_bits_per_key: self.opts.bloom_bits_per_key,
             dek_id: None,
+            // Carries the Hmac policy (engine key); output-creation sites
+            // swap in the per-file DEK subkey when encryption is on.
+            mac_key: (self.opts.integrity == crate::integrity::Integrity::Hmac)
+                .then_some(self.opts.integrity_key),
         };
         // Every output number any attempt allocates lands here, so the
         // install/error paths below can clear `pending_outputs` exactly —
@@ -1528,15 +1567,23 @@ impl DbInner {
         for number in wals.into_iter().filter(|n| *n >= min_log) {
             replayed += 1;
             let path = shield_env::join_path(&self.path, &wal_file_name(number));
-            let file = match &self.opts.encryption {
-                Some(cfg) => cfg.open_sequential(self.env.as_ref(), &path, FileKind::Wal)?,
-                None => self.env.new_sequential_file(&path, FileKind::Wal)?,
+            let (file, dek_mac) = match &self.opts.encryption {
+                Some(cfg) => cfg.open_sequential_with_mac(self.env.as_ref(), &path, FileKind::Wal)?,
+                None => (self.env.new_sequential_file(&path, FileKind::Wal)?, None),
             };
-            let mut reader = LogReader::new(file);
+            // Authenticated segments verify with the DEK subkey (or the
+            // engine key for plaintext WALs); legacy segments replay as-is
+            // but count as unprotected under Hmac.
+            let mut reader =
+                LogReader::with_integrity(file, Some(dek_mac.unwrap_or(self.opts.integrity_key)))
+                    .with_sinks(number, Some(self.stats.clone()), Some(self.events.clone()));
             while let Some(record) = reader.read_record()? {
                 let batch = WriteBatch::from_data(&record)?;
                 batch.insert_into(&mem)?;
                 max_seq = max_seq.max(batch.sequence() + u64::from(batch.count()) - 1);
+            }
+            if self.opts.integrity == crate::integrity::Integrity::Hmac && reader.is_legacy() {
+                self.stats.integrity_unprotected_files.fetch_add(1, Ordering::Relaxed);
             }
         }
         let mut state = self.state.lock();

@@ -8,6 +8,7 @@ use shield_env::Env;
 pub use crate::compaction::CompactionStyle;
 use crate::compaction::CompactionParams;
 use crate::encryption::EncryptionConfig;
+use crate::integrity::Integrity;
 use crate::statistics::Statistics;
 
 /// Configuration for opening a [`crate::Db`].
@@ -62,6 +63,15 @@ pub struct Options {
     pub disable_wal: bool,
     /// SHIELD encryption; `None` runs plaintext.
     pub encryption: Option<EncryptionConfig>,
+    /// Integrity mode for newly written files: [`Integrity::Hmac`] adds a
+    /// truncated per-block HMAC-SHA256 tag to every SST block and
+    /// WAL/MANIFEST record, detected and verified on read regardless of
+    /// this setting (verification is file-format driven).
+    pub integrity: Integrity,
+    /// Engine-wide MAC key for files without a DEK (plaintext and EncFS
+    /// deployments, unencrypted WALs). SHIELD-encrypted files derive a
+    /// per-file subkey from their DEK instead.
+    pub integrity_key: [u8; 32],
     /// Where compactions run: `None` = in-process; `Some` = offloaded
     /// (e.g. to the disaggregated storage server, paper §5.6).
     pub compaction_executor: Option<Arc<dyn crate::compaction::CompactionExecutor>>,
@@ -112,6 +122,8 @@ impl Options {
             wal_sync_writes: false,
             disable_wal: false,
             encryption: None,
+            integrity: Integrity::Crc,
+            integrity_key: [0u8; 32],
             compaction_executor: None,
             max_background_retries: 3,
             background_retry_backoff: std::time::Duration::from_millis(1),
@@ -126,6 +138,20 @@ impl Options {
     #[must_use]
     pub fn with_encryption(mut self, cfg: EncryptionConfig) -> Self {
         self.encryption = Some(cfg);
+        self
+    }
+
+    /// Sets the integrity mode for newly written files.
+    #[must_use]
+    pub fn with_integrity(mut self, mode: Integrity) -> Self {
+        self.integrity = mode;
+        self
+    }
+
+    /// Sets the engine-wide MAC key used for files without a DEK.
+    #[must_use]
+    pub fn with_integrity_key(mut self, key: [u8; 32]) -> Self {
+        self.integrity_key = key;
         self
     }
 
@@ -222,6 +248,8 @@ mod tests {
         let o = Options::new(Arc::new(MemEnv::new()));
         assert!(o.create_if_missing);
         assert!(o.encryption.is_none());
+        assert_eq!(o.integrity, Integrity::Crc);
+        assert_eq!(o.integrity_key, [0u8; 32]);
         assert_eq!(o.block_size, 4096);
         assert_eq!(o.compaction.fanout, 10);
     }

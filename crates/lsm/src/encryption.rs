@@ -35,9 +35,20 @@ use shield_env::{Env, EnvResult, FileKind, RandomAccessFile, SequentialFile, Wri
 use shield_kds::DekResolver;
 
 use crate::error::{Error, Result};
+use crate::integrity::derive_mac_subkey;
 
 /// Length of the plaintext per-file metadata header.
 pub const FILE_HEADER_LEN: usize = 64;
+
+/// A writable file plus the identity of the DEK encrypting it and the MAC
+/// subkey derived from that DEK (`None` when the file is plaintext).
+pub type WritableWithMac = (Box<dyn WritableFile>, DekId, Option<[u8; 32]>);
+/// A random-access file plus its DEK-derived MAC subkey (`None` when the
+/// file is plaintext).
+pub type RandomWithMac = (Arc<dyn RandomAccessFile>, Option<[u8; 32]>);
+/// A sequential file plus its DEK-derived MAC subkey (`None` when the
+/// file is plaintext).
+pub type SequentialWithMac = (Box<dyn SequentialFile>, Option<[u8; 32]>);
 const MAGIC: &[u8; 8] = b"SHLDENCF";
 const HEADER_VERSION: u8 = 1;
 
@@ -158,10 +169,25 @@ impl EncryptionConfig {
         path: &str,
         kind: FileKind,
     ) -> Result<(Box<dyn WritableFile>, DekId)> {
+        let (file, dek_id, _mac) = self.new_writable_with_mac(env, path, kind)?;
+        Ok((file, dek_id))
+    }
+
+    /// Like [`new_writable`](Self::new_writable), also returning the MAC
+    /// subkey derived from the file's DEK ([`derive_mac_subkey`]) for
+    /// authenticated-integrity tagging — `None` when the file is plaintext
+    /// (unencrypted WALs), in which case the caller falls back to the
+    /// engine-wide integrity key.
+    pub fn new_writable_with_mac(
+        &self,
+        env: &dyn Env,
+        path: &str,
+        kind: FileKind,
+    ) -> Result<WritableWithMac> {
         if kind == FileKind::Wal && !self.encrypt_wal {
             let file = env.new_writable_file(path, kind)?;
             // No header, no DEK: the file is plaintext and self-describing.
-            return Ok((file, DekId(0)));
+            return Ok((file, DekId(0), None));
         }
         let dek = self.resolver.new_dek()?;
         let mut nonce = [0u8; NONCE_LEN];
@@ -179,6 +205,7 @@ impl EncryptionConfig {
             _ => (0, usize::MAX, 1),
         };
         let dek_id = dek.id();
+        let mac = derive_mac_subkey(dek.key_bytes());
         Ok((
             Box::new(EncryptedWritableFile::new(
                 inner,
@@ -190,6 +217,7 @@ impl EncryptionConfig {
                 self.inits.clone(),
             )),
             dek_id,
+            Some(mac),
         ))
     }
 
@@ -201,16 +229,29 @@ impl EncryptionConfig {
         path: &str,
         kind: FileKind,
     ) -> Result<Arc<dyn RandomAccessFile>> {
+        let (file, _mac) = self.open_random_with_mac(env, path, kind)?;
+        Ok(file)
+    }
+
+    /// Like [`open_random`](Self::open_random), also returning the MAC
+    /// subkey derived from the file's DEK — `None` for plaintext files.
+    pub fn open_random_with_mac(
+        &self,
+        env: &dyn Env,
+        path: &str,
+        kind: FileKind,
+    ) -> Result<RandomWithMac> {
         let inner = env.new_random_access_file(path, kind)?;
         let head = inner.read_at(0, FILE_HEADER_LEN)?;
         match FileHeader::decode(&head)? {
-            None => Ok(inner),
+            None => Ok((inner, None)),
             Some(header) => {
                 let dek = self.resolver.resolve(header.dek_id)?;
                 self.inits.fetch_add(1, Ordering::Relaxed);
                 perf::incr(PerfCounter::CipherInits, 1);
+                let mac = derive_mac_subkey(dek.key_bytes());
                 let ctx = CipherContext::new(&dek, &header.nonce);
-                Ok(Arc::new(EncryptedRandomAccessFile { inner, ctx }))
+                Ok((Arc::new(EncryptedRandomAccessFile { inner, ctx }), Some(mac)))
             }
         }
     }
@@ -222,6 +263,18 @@ impl EncryptionConfig {
         path: &str,
         kind: FileKind,
     ) -> Result<Box<dyn SequentialFile>> {
+        let (file, _mac) = self.open_sequential_with_mac(env, path, kind)?;
+        Ok(file)
+    }
+
+    /// Like [`open_sequential`](Self::open_sequential), also returning the
+    /// MAC subkey derived from the file's DEK — `None` for plaintext files.
+    pub fn open_sequential_with_mac(
+        &self,
+        env: &dyn Env,
+        path: &str,
+        kind: FileKind,
+    ) -> Result<SequentialWithMac> {
         let mut inner = env.new_sequential_file(path, kind)?;
         let mut head = vec![0u8; FILE_HEADER_LEN];
         let mut filled = 0usize;
@@ -236,14 +289,15 @@ impl EncryptionConfig {
         match FileHeader::decode(&head)? {
             None => {
                 // Plaintext file: re-open to replay the consumed prefix.
-                Ok(env.new_sequential_file(path, kind)?)
+                Ok((env.new_sequential_file(path, kind)?, None))
             }
             Some(header) => {
                 let dek = self.resolver.resolve(header.dek_id)?;
                 self.inits.fetch_add(1, Ordering::Relaxed);
                 perf::incr(PerfCounter::CipherInits, 1);
+                let mac = derive_mac_subkey(dek.key_bytes());
                 let ctx = CipherContext::new(&dek, &header.nonce);
-                Ok(Box::new(EncryptedSequentialFile { inner, ctx, offset: 0 }))
+                Ok((Box::new(EncryptedSequentialFile { inner, ctx, offset: 0 }), Some(mac)))
             }
         }
     }

@@ -10,6 +10,12 @@ use shield_kds::resolver::ResolverError;
 pub enum Error {
     /// Persistent data failed validation (checksums, format invariants).
     Corruption(String),
+    /// Persistent data failed **authenticated** validation: an HMAC tag
+    /// mismatch under [`crate::integrity::Integrity::Hmac`]. Distinct from
+    /// [`Error::Corruption`] because a forged tag means *tampering*, not
+    /// disk rot — operators must treat the medium as hostile, not merely
+    /// broken.
+    IntegrityViolation(String),
     /// Underlying storage failure.
     Io(EnvError),
     /// DEK resolution failed (KDS denied, cache corrupt, …).
@@ -60,6 +66,9 @@ impl Error {
             Error::Io(EnvError::Corruption(_)) | Error::Corruption(_) => {
                 Severity::Unrecoverable
             }
+            // A failed MAC is deliberate damage until proven otherwise:
+            // never retried, never cleared by resume().
+            Error::IntegrityViolation(_) => Severity::Unrecoverable,
             // DEK resolution failures cover both KDS outages (come back on
             // their own) and cache corruption; neither is safe to hammer
             // with automatic retries at this layer — the resolver already
@@ -80,6 +89,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
             Error::Io(e) => write!(f, "io: {e}"),
             Error::Encryption(m) => write!(f, "encryption: {m}"),
             Error::Shutdown => write!(f, "database is shutting down"),
@@ -136,5 +146,16 @@ mod tests {
         assert_eq!(Error::Encryption("kds down".into()).severity(), Severity::Hard);
         assert!(!Error::Corruption("bits".into()).retryable());
         assert!(!Error::Shutdown.retryable());
+    }
+
+    #[test]
+    fn integrity_violation_is_unrecoverable_and_distinct() {
+        let e = Error::IntegrityViolation("tag mismatch".into());
+        assert_eq!(e.severity(), Severity::Unrecoverable);
+        assert!(!e.retryable());
+        assert!(e.to_string().starts_with("integrity violation:"));
+        // Must never be conflated with plain corruption.
+        assert!(!matches!(e, Error::Corruption(_)));
+        assert_ne!(e, Error::Corruption("tag mismatch".into()));
     }
 }

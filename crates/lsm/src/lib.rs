@@ -29,6 +29,7 @@ pub mod compaction;
 pub mod db;
 pub mod encryption;
 pub mod error;
+pub mod integrity;
 pub mod iter;
 pub mod memtable;
 pub mod obs;
@@ -44,6 +45,7 @@ pub use db::options::{CompactionStyle, Options, ReadOptions, WriteOptions};
 pub use db::{Db, DbIterator, Snapshot, WriteBatch};
 pub use encryption::EncryptionConfig;
 pub use error::{Error, Result, Severity};
+pub use integrity::{Integrity, IntegrityOptions};
 // Observability vocabulary, re-exported from the dependency-free
 // `shield-core` crate so embedders need only one `use shield_lsm::...`.
 pub use shield_core::{

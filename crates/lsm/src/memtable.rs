@@ -144,6 +144,20 @@ impl MemTable {
         let entry_len = blob.len() as u32;
 
         let mut guard = self.inner.insert_lock.lock();
+
+        let mut prev = [std::ptr::null::<Node>(); MAX_HEIGHT];
+        let found = self.find_greater_or_equal(&ikey, Some(&mut prev));
+        if !found.is_null()
+            && internal_key_cmp(unsafe { &*found }.ikey(), &ikey) == Ordering::Equal
+        {
+            // An exact duplicate (user key, sequence, type) can only come
+            // from replaying the same WAL record twice — whether a benign
+            // re-replay or a hostile appended copy. Inserting it would
+            // leave two equal internal keys in the table and violate the
+            // strict ordering the flush path relies on; keep the first.
+            return;
+        }
+
         self.inner.arena_blobs.lock().push(blob);
 
         // Random height with 1/BRANCHING decay (xorshift; seeded per table).
@@ -168,8 +182,6 @@ impl MemTable {
         }));
         self.inner.nodes.lock().push(node);
 
-        let mut prev = [std::ptr::null::<Node>(); MAX_HEIGHT];
-        self.find_greater_or_equal(&ikey, Some(&mut prev));
         if self.inner.max_height.load(AtomicOrd::Relaxed) < height {
             self.inner.max_height.store(height, AtomicOrd::Relaxed);
         }
@@ -345,6 +357,20 @@ mod tests {
         assert_eq!(mt.get(b"alpha", 10), LookupResult::Found(b"one".to_vec()));
         assert_eq!(mt.get(b"beta", 10), LookupResult::Found(b"two".to_vec()));
         assert_eq!(mt.get(b"gamma", 10), LookupResult::NotFound);
+        assert_eq!(mt.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_internal_key_is_idempotent() {
+        // A replayed WAL record re-inserts the same (key, seq, type); the
+        // table must keep exactly one entry so flush ordering stays strict.
+        let mt = MemTable::new(1);
+        mt.add(1, ValueType::Value, b"k", b"v");
+        mt.add(1, ValueType::Value, b"k", b"v");
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.get(b"k", 10), LookupResult::Found(b"v".to_vec()));
+        // A different sequence is a distinct version, not a duplicate.
+        mt.add(2, ValueType::Value, b"k", b"v2");
         assert_eq!(mt.len(), 2);
     }
 

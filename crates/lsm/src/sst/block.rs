@@ -244,16 +244,22 @@ impl BlockIter {
     }
 
     /// Decodes the full key at restart point `i` (shared is 0 there).
+    /// Malformed entries — reachable from hostile blocks whose restart
+    /// array points at garbage — yield an empty key instead of panicking;
+    /// the subsequent linear scan re-validates every entry it lands on.
     fn restart_key(&self, i: usize) -> Vec<u8> {
         let mut off = self.block.restart_point(i);
         let data = &self.block.data[..self.block.restarts_offset];
-        let (_shared, n) = get_varint32(&data[off..]).expect("restart entry");
-        off += n;
-        let (non_shared, n) = get_varint32(&data[off..]).expect("restart entry");
-        off += n;
-        let (_vlen, n) = get_varint32(&data[off..]).expect("restart entry");
-        off += n;
-        data[off..off + non_shared as usize].to_vec()
+        let mut varint = || -> Option<u32> {
+            let (v, n) = get_varint32(data.get(off..)?)?;
+            off += n;
+            Some(v)
+        };
+        let Some(_shared) = varint() else { return Vec::new() };
+        let Some(non_shared) = varint() else { return Vec::new() };
+        let Some(_vlen) = varint() else { return Vec::new() };
+        let end = off.saturating_add(non_shared as usize);
+        data.get(off..end).map(<[u8]>::to_vec).unwrap_or_default()
     }
 
     /// Parses the entry at `self.offset`; false at end of block.
@@ -408,5 +414,32 @@ mod tests {
         let mut it = block.iter();
         it.seek_to_first();
         assert!(!it.valid());
+    }
+
+    #[test]
+    fn hostile_restart_entries_do_not_panic_on_seek() {
+        // A restart array whose entries point at garbage: truncated
+        // varints, offsets past the entry region, lengths overrunning the
+        // block. `seek` binary-searches via `restart_key` and must fail
+        // gracefully (no panic, iterator invalid), not trust the offsets.
+        let hostile: &[&[u8]] = &[
+            // restart[0]=0 over a single 0xff byte (truncated varint).
+            &[0xff, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00],
+            // entry claims non_shared=200 with 1 byte of data behind it.
+            &[0x00, 0xc8, 0x01, 0x61, 0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00],
+            // restart offset points past the entry region.
+            &[0x00, 0x00, 0x00, 0x40, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00],
+        ];
+        for raw in hostile {
+            let block = Arc::new(Block::from_raw(Bytes::copy_from_slice(raw)));
+            let mut it = block.iter();
+            it.seek(&ik(b"probe", 1));
+            let _ = it.valid();
+            it.seek_to_first();
+            while it.valid() {
+                let (_k, _v) = (it.key().to_vec(), it.value().to_vec());
+                it.next();
+            }
+        }
     }
 }

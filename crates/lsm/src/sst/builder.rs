@@ -9,10 +9,12 @@ use shield_crypto::{crc32c, crc32c_extend, crc32c_masked, DekId};
 use shield_env::WritableFile;
 
 use crate::error::Result;
+use crate::integrity::{block_tag, CONTEXT_LEN};
 use crate::sst::block::BlockBuilder;
 use crate::sst::filter::BloomFilterBuilder;
 use crate::sst::format::{
     BlockHandle, Footer, TableProperties, BLOCK_TRAILER_LEN, COMPRESSION_NONE,
+    HMAC_BLOCK_TRAILER_LEN,
 };
 use crate::types::extract_user_key;
 
@@ -27,6 +29,10 @@ pub struct TableBuilderOptions {
     pub bloom_bits_per_key: usize,
     /// Recorded in the properties block when the file is encrypted.
     pub dek_id: Option<DekId>,
+    /// MAC key for authenticated (format v2) tables: every block trailer
+    /// gains a truncated HMAC tag and the footer carries a fresh random
+    /// per-file context. `None` writes the classic CRC-only v1 format.
+    pub mac_key: Option<[u8; 32]>,
 }
 
 impl Default for TableBuilderOptions {
@@ -36,6 +42,7 @@ impl Default for TableBuilderOptions {
             restart_interval: 16,
             bloom_bits_per_key: 10,
             dek_id: None,
+            mac_key: None,
         }
     }
 }
@@ -51,6 +58,9 @@ pub struct TableBuilder {
     offset: u64,
     last_key: Vec<u8>,
     props: TableProperties,
+    /// Per-file MAC context, minted at construction when `mac_key` is
+    /// set; bound into every block tag and persisted in the v2 footer.
+    context: [u8; CONTEXT_LEN],
     finished: bool,
 }
 
@@ -61,6 +71,10 @@ impl TableBuilder {
         let filter = BloomFilterBuilder::new(opts.bloom_bits_per_key.max(1));
         let restart = opts.restart_interval;
         let dek_id = opts.dek_id;
+        let mut context = [0u8; CONTEXT_LEN];
+        if opts.mac_key.is_some() {
+            shield_crypto::secure_random(&mut context);
+        }
         TableBuilder {
             file,
             opts,
@@ -70,6 +84,7 @@ impl TableBuilder {
             offset: 0,
             last_key: Vec::new(),
             props: TableProperties { dek_id, ..TableProperties::default() },
+            context,
             finished: false,
         }
     }
@@ -122,16 +137,26 @@ impl TableBuilder {
         Ok(())
     }
 
-    /// Writes block contents + 5-byte trailer; returns the handle.
+    /// Writes block contents + trailer (5 bytes CRC-only, 21 bytes with
+    /// an HMAC tag in authenticated tables); returns the handle.
     fn write_raw_block(&mut self, contents: &[u8]) -> Result<BlockHandle> {
         let handle = BlockHandle { offset: self.offset, size: contents.len() as u64 };
         self.file.append(contents)?;
-        let mut trailer = [0u8; BLOCK_TRAILER_LEN];
+        let mut trailer = [0u8; HMAC_BLOCK_TRAILER_LEN];
         trailer[0] = COMPRESSION_NONE;
         let crc = crc32c_masked(crc32c_extend(crc32c(contents), &[COMPRESSION_NONE]));
-        trailer[1..].copy_from_slice(&crc.to_le_bytes());
-        self.file.append(&trailer)?;
-        self.offset += (contents.len() + BLOCK_TRAILER_LEN) as u64;
+        trailer[1..BLOCK_TRAILER_LEN].copy_from_slice(&crc.to_le_bytes());
+        let trailer_len = match &self.opts.mac_key {
+            Some(key) => {
+                let tag =
+                    block_tag(key, &self.context, handle.offset, COMPRESSION_NONE, contents);
+                trailer[BLOCK_TRAILER_LEN..].copy_from_slice(&tag);
+                HMAC_BLOCK_TRAILER_LEN
+            }
+            None => BLOCK_TRAILER_LEN,
+        };
+        self.file.append(&trailer[..trailer_len])?;
+        self.offset += (contents.len() + trailer_len) as u64;
         Ok(handle)
     }
 
@@ -160,10 +185,13 @@ impl TableBuilder {
         let index_contents = index_block.finish();
         let index_handle = self.write_raw_block(&index_contents)?;
 
-        let footer =
-            Footer { filter: filter_handle, properties: props_handle, index: index_handle };
-        self.file.append(&footer.encode())?;
-        self.offset += crate::sst::format::FOOTER_LEN as u64;
+        let footer = match self.opts.mac_key {
+            Some(_) => Footer::v2(filter_handle, props_handle, index_handle, self.context),
+            None => Footer::v1(filter_handle, props_handle, index_handle),
+        };
+        let footer_bytes = footer.encode();
+        self.file.append(&footer_bytes)?;
+        self.offset += footer_bytes.len() as u64;
         self.file.flush()?;
         self.file.sync()?;
         Ok((self.props, self.offset))
@@ -209,6 +237,34 @@ mod tests {
         }
         let (props, _) = b.finish().unwrap();
         assert!(props.num_data_blocks > 5, "blocks = {}", props.num_data_blocks);
+    }
+
+    #[test]
+    fn mac_key_produces_v2_footer_and_tagged_trailers() {
+        use crate::sst::format::{Footer, HMAC_BLOCK_TRAILER_LEN};
+        let env = MemEnv::new();
+        let file = env.new_writable_file("t.sst", FileKind::Sst).unwrap();
+        let opts = TableBuilderOptions { mac_key: Some([7u8; 32]), ..Default::default() };
+        let mut b = TableBuilder::new(file, opts);
+        for i in 0..10u32 {
+            let ik = make_internal_key(format!("k{i:04}").as_bytes(), 1, ValueType::Value);
+            b.add(&ik, b"value").unwrap();
+        }
+        let context = b.context;
+        let (_, size) = b.finish().unwrap();
+        let raw = env.raw_content("t.sst").unwrap();
+        assert_eq!(raw.len() as u64, size);
+        let footer = Footer::decode_from_tail(&raw).unwrap();
+        assert_eq!(footer.version, 2);
+        assert_eq!(footer.context, context);
+        assert_ne!(context, [0u8; super::CONTEXT_LEN], "context must be random");
+        // The index block's stored tag recomputes from the raw bytes.
+        let h = footer.index;
+        let contents = &raw[h.offset as usize..(h.offset + h.size) as usize];
+        let trailer = &raw[(h.offset + h.size) as usize
+            ..(h.offset + h.size) as usize + HMAC_BLOCK_TRAILER_LEN];
+        let expect = block_tag(&[7u8; 32], &context, h.offset, trailer[0], contents);
+        assert_eq!(&trailer[BLOCK_TRAILER_LEN..], &expect[..]);
     }
 
     #[test]

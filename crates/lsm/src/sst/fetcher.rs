@@ -36,14 +36,20 @@ use shield_env::RandomAccessFile;
 
 use crate::cache::{BlockCache, BlockKind, CacheHandle, CacheKey};
 use crate::error::{Error, Result};
+use crate::integrity::IntegrityCtx;
 use crate::sst::block::Block;
-use crate::sst::format::{BlockHandle, BLOCK_TRAILER_LEN};
+use crate::sst::format::{BlockHandle, BLOCK_TRAILER_LEN, HMAC_BLOCK_TRAILER_LEN};
 
 /// Upper bound on queued prefetch requests; beyond it, readahead sheds
 /// load instead of buffering unbounded file handles.
 const PREFETCH_QUEUE_CAP: usize = 64;
 /// Prefetch worker threads (enough to overlap several remote RTTs).
 const PREFETCH_WORKERS: usize = 4;
+/// Upper bound on a single block read. Block handles come from on-disk
+/// index/footer bytes, so a hostile file could otherwise name a
+/// multi-gigabyte "block" and turn one `read_at` into an OOM
+/// (allocation-by-length-field, the SecureDekCache bug pattern).
+const MAX_BLOCK_LEN: usize = 1 << 26; // 64 MiB
 
 /// A block obtained through the fetcher. `Cached` keeps the entry pinned
 /// (charged, not evictable) until dropped; `Uncached` is a plain
@@ -88,6 +94,9 @@ struct PrefetchRequest {
     file: Arc<dyn RandomAccessFile>,
     table_id: u64,
     handle: BlockHandle,
+    /// Owned verification context for v2 tables (the worker outlives the
+    /// caller's borrow).
+    integrity: Option<IntegrityCtx>,
 }
 
 struct PrefetchPool {
@@ -141,7 +150,9 @@ impl BlockFetcher {
 
     /// Fetches one verified block: cache lookup, then a single-flight
     /// read. `fill_cache = false` skips both cache lookup and admission
-    /// (one-shot reads that should not disturb residency).
+    /// (one-shot reads that should not disturb residency). `integrity`
+    /// must be `Some` exactly for v2 (HMAC-tagged) tables; every cache
+    /// miss then verifies the block's tag before the bytes are trusted.
     pub fn fetch(
         &self,
         file: &Arc<dyn RandomAccessFile>,
@@ -149,6 +160,7 @@ impl BlockFetcher {
         handle: BlockHandle,
         kind: BlockKind,
         fill_cache: bool,
+        integrity: Option<&IntegrityCtx>,
     ) -> Result<FetchedBlock> {
         let key = (table_id, handle.offset);
         if fill_cache {
@@ -161,14 +173,20 @@ impl BlockFetcher {
                 }
             }
         }
-        self.core.fetch_miss(file, key, handle, kind, fill_cache, false)
+        self.core.fetch_miss(file, key, handle, kind, fill_cache, false, integrity)
     }
 
     /// Queues background prefetch of `handle` if it is not already
     /// resident. Best-effort: a full queue or disabled readahead drops the
     /// request, and worker errors are swallowed (the foreground read will
     /// surface them if the block is ever actually needed).
-    pub fn prefetch(&self, file: &Arc<dyn RandomAccessFile>, table_id: u64, handle: BlockHandle) {
+    pub fn prefetch(
+        &self,
+        file: &Arc<dyn RandomAccessFile>,
+        table_id: u64,
+        handle: BlockHandle,
+        integrity: Option<&IntegrityCtx>,
+    ) {
         let Some(pool) = &self.pool else { return };
         let Some(cache) = &self.core.cache else { return };
         let key = (table_id, handle.offset);
@@ -187,7 +205,12 @@ impl BlockFetcher {
             if q.len() >= PREFETCH_QUEUE_CAP {
                 return;
             }
-            q.push_back(PrefetchRequest { file: file.clone(), table_id, handle });
+            q.push_back(PrefetchRequest {
+                file: file.clone(),
+                table_id,
+                handle,
+                integrity: integrity.cloned(),
+            });
         }
         cache.counters().readahead_issued.fetch_add(1, Ordering::Relaxed);
         pool.cv.notify_one();
@@ -207,6 +230,7 @@ impl FetcherCore {
     /// The miss path: join an in-flight read for `key` or become its
     /// leader. Exactly one thread per concurrent miss group performs the
     /// verified read (and thus the decrypt below it).
+    #[allow(clippy::too_many_arguments)]
     fn fetch_miss(
         &self,
         file: &Arc<dyn RandomAccessFile>,
@@ -215,6 +239,7 @@ impl FetcherCore {
         kind: BlockKind,
         fill_cache: bool,
         prefetched: bool,
+        integrity: Option<&IntegrityCtx>,
     ) -> Result<FetchedBlock> {
         let existing = {
             let mut map = lock_inflight(&self.inflight)?;
@@ -251,7 +276,7 @@ impl FetcherCore {
         }
 
         // Leader: do the read, publish the result, then retire the flight.
-        let result = read_block(file.as_ref(), handle, kind);
+        let result = read_block(file.as_ref(), handle, kind, integrity);
         let out = match &result {
             Ok(block) => {
                 let admitted = if fill_cache {
@@ -311,37 +336,77 @@ fn prefetch_worker(pool: &PrefetchPool, core: &FetcherCore) {
         }
         // Fill the cache and release the pin at once; errors are the
         // foreground's to report if it ever reads this block for real.
-        let _ = core.fetch_miss(&req.file, key, req.handle, BlockKind::Data, true, true);
+        let _ = core.fetch_miss(
+            &req.file,
+            key,
+            req.handle,
+            BlockKind::Data,
+            true,
+            true,
+            req.integrity.as_ref(),
+        );
     }
 }
 
-/// Reads `handle`'s bytes, verifies the trailer CRC, and parses the block
+/// Reads `handle`'s bytes, verifies the trailer, and parses the block
 /// (opaque wrapping for filter payloads, which are not in entry format).
 fn read_block(
     file: &dyn RandomAccessFile,
     handle: BlockHandle,
     kind: BlockKind,
+    integrity: Option<&IntegrityCtx>,
 ) -> Result<Arc<Block>> {
-    let raw = read_verified(file, handle)?;
+    let raw = read_verified(file, handle, integrity)?;
     Ok(Arc::new(match kind {
         BlockKind::Filter => Block::from_raw_opaque(raw),
         BlockKind::Data | BlockKind::Index => Block::from_raw(raw),
     }))
 }
 
-/// Reads a block's contents and verifies its 5-byte trailer (compression
-/// tag + masked CRC32C). This is the one place raw SST bytes become
-/// trusted plaintext; everything above works on verified blocks.
-pub fn read_verified(file: &dyn RandomAccessFile, handle: BlockHandle) -> Result<Bytes> {
+/// Reads a block's contents and verifies its trailer. This is the one
+/// place raw SST bytes become trusted plaintext; everything above works
+/// on verified blocks.
+///
+/// With `integrity = None` (v1 tables) the trailer is 5 bytes
+/// (compression tag + masked CRC32C); with `Some` (v2 tables) it is 21
+/// bytes and the HMAC tag is verified **first**: a forged block fails as
+/// [`Error::IntegrityViolation`] even when the attacker fixed up the CRC
+/// (trivial — CRC32C is keyless), and garbled-plaintext splices under
+/// encryption classify as tampering rather than generic corruption.
+pub fn read_verified(
+    file: &dyn RandomAccessFile,
+    handle: BlockHandle,
+    integrity: Option<&IntegrityCtx>,
+) -> Result<Bytes> {
     perf::incr(PerfCounter::BlocksRead, 1);
-    let total = handle.size as usize + BLOCK_TRAILER_LEN;
+    let trailer_len = if integrity.is_some() { HMAC_BLOCK_TRAILER_LEN } else { BLOCK_TRAILER_LEN };
+    // `handle` decodes from on-disk bytes: treat its size as hostile.
+    // Checked arithmetic plus a hard cap stop a forged index entry from
+    // requesting an absurd allocation or wrapping the length math.
+    let size = usize::try_from(handle.size)
+        .ok()
+        .filter(|s| *s <= MAX_BLOCK_LEN)
+        .ok_or_else(|| {
+            Error::Corruption(format!("implausible block length {}", handle.size))
+        })?;
+    let total = size
+        .checked_add(trailer_len)
+        .ok_or_else(|| Error::Corruption("block length overflow".into()))?;
     let raw = file.read_at(handle.offset, total)?;
     if raw.len() < total {
         return Err(Error::Corruption("block truncated".into()));
     }
-    let contents = raw.slice(..handle.size as usize);
-    let trailer = &raw[handle.size as usize..];
+    let contents = raw.slice(..size);
+    let trailer = &raw[size..];
     let compression = trailer[0];
+    if let Some(ctx) = integrity {
+        ctx.verify_block(
+            handle.offset,
+            compression,
+            &contents,
+            &trailer[BLOCK_TRAILER_LEN..HMAC_BLOCK_TRAILER_LEN],
+        )?;
+    }
     let stored = u32::from_le_bytes([trailer[1], trailer[2], trailer[3], trailer[4]]);
     let actual = crc32c_extend(crc32c(&contents), &[compression]);
     if crc32c_unmask(stored) != actual {
@@ -382,7 +447,7 @@ mod tests {
         let footer =
             Footer::decode(&file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN).unwrap()).unwrap();
         let index = Arc::new(Block::from_raw(
-            read_verified(file.as_ref(), footer.index).unwrap(),
+            read_verified(file.as_ref(), footer.index, None).unwrap(),
         ));
         let mut it = index.iter();
         it.seek_to_first();
@@ -396,11 +461,11 @@ mod tests {
         let cache = BlockCache::new(1 << 20);
         let fetcher = BlockFetcher::new(Some(cache.clone()), 0);
         let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
-        let a = fetcher.fetch(&file, 1, handle, BlockKind::Data, true).unwrap();
+        let a = fetcher.fetch(&file, 1, handle, BlockKind::Data, true, None).unwrap();
         assert!(matches!(a, FetchedBlock::Cached(_)));
         let s = cache.stats();
         assert_eq!((s.data_hits, s.data_misses), (0, 1));
-        let b = fetcher.fetch(&file, 1, handle, BlockKind::Data, true).unwrap();
+        let b = fetcher.fetch(&file, 1, handle, BlockKind::Data, true, None).unwrap();
         assert!(Arc::ptr_eq(a.block(), b.block()));
         assert_eq!(cache.stats().data_hits, 1);
     }
@@ -412,7 +477,7 @@ mod tests {
         let cache = BlockCache::new(1 << 20);
         let fetcher = BlockFetcher::new(Some(cache.clone()), 0);
         let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
-        let a = fetcher.fetch(&file, 1, handle, BlockKind::Data, false).unwrap();
+        let a = fetcher.fetch(&file, 1, handle, BlockKind::Data, false, None).unwrap();
         assert!(matches!(a, FetchedBlock::Uncached(_)));
         assert!(cache.is_empty());
         let s = cache.stats();
@@ -432,7 +497,7 @@ mod tests {
         .unwrap();
         let fetcher = BlockFetcher::new(Some(cache.clone()), 0);
         let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
-        let got = fetcher.fetch(&file, 1, handle, BlockKind::Data, true).unwrap();
+        let got = fetcher.fetch(&file, 1, handle, BlockKind::Data, true, None).unwrap();
         assert!(matches!(got, FetchedBlock::Uncached(_)));
         assert_eq!(cache.stats().oversized_bypass, 1);
     }
@@ -444,7 +509,7 @@ mod tests {
         let cache = BlockCache::new(1 << 20);
         let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
         let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
-        fetcher.prefetch(&file, 1, handle);
+        fetcher.prefetch(&file, 1, handle, None);
         // The worker pool is asynchronous; wait briefly for it.
         for _ in 0..200 {
             if cache.contains(&(1, handle.offset)) {
@@ -455,8 +520,77 @@ mod tests {
         assert!(cache.contains(&(1, handle.offset)), "prefetch never landed");
         assert_eq!(cache.stats().readahead_issued, 1);
         // First real read is a hit credited to readahead.
-        let got = fetcher.fetch(&file, 1, handle, BlockKind::Data, true).unwrap();
+        let got = fetcher.fetch(&file, 1, handle, BlockKind::Data, true, None).unwrap();
         assert!(matches!(got, FetchedBlock::Cached(_)));
         assert_eq!(cache.stats().readahead_useful, 1);
+    }
+
+    #[test]
+    fn implausible_handle_rejected_before_allocation() {
+        let env = MemEnv::new();
+        build_sst(&env, "t.sst", 10);
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        // A forged index entry naming a huge block must fail cleanly
+        // without attempting the allocation.
+        let huge = BlockHandle { offset: 0, size: u64::MAX - 4 };
+        let err = read_verified(file.as_ref(), huge, None).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+        let big = BlockHandle { offset: 0, size: (MAX_BLOCK_LEN as u64) + 1 };
+        let err = read_verified(file.as_ref(), big, None).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn hmac_table_verifies_and_detects_flips() {
+        use crate::integrity::IntegrityCtx;
+        use crate::sst::format::FOOTER_V2_LEN;
+        let key = [9u8; 32];
+        let env = MemEnv::new();
+        let file = env.new_writable_file("t.sst", FileKind::Sst).unwrap();
+        let opts = TableBuilderOptions {
+            block_size: 256,
+            mac_key: Some(key),
+            ..TableBuilderOptions::default()
+        };
+        let mut b = TableBuilder::new(file, opts);
+        for i in 0..300u32 {
+            let ik = make_internal_key(format!("key{i:06}").as_bytes(), 10, ValueType::Value);
+            b.add(&ik, format!("value-{i}").as_bytes()).unwrap();
+        }
+        b.finish().unwrap();
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let len = file.len().unwrap();
+        let footer = Footer::decode_from_tail(
+            &file.read_at(len - FOOTER_V2_LEN as u64, FOOTER_V2_LEN).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(footer.version, 2);
+        let ctx = IntegrityCtx::new(key, footer.context, 1);
+        // Clean read verifies.
+        let index = read_verified(file.as_ref(), footer.index, Some(&ctx)).unwrap();
+        let index = Arc::new(Block::from_raw(index));
+        let mut it = index.iter();
+        it.seek_to_first();
+        let handle = BlockHandle::decode_varint(it.value()).unwrap();
+        read_verified(file.as_ref(), handle, Some(&ctx)).unwrap();
+        // Bit-flip one data byte: MAC catches it as IntegrityViolation,
+        // not Corruption, even though the CRC would also have failed.
+        let mut raw = env.raw_content("t.sst").unwrap();
+        raw[handle.offset as usize + 3] ^= 0x40;
+        env.set_raw_content("t.sst", raw.clone()).unwrap();
+        let err = read_verified(file.as_ref(), handle, Some(&ctx)).unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+        // Fix the CRC over the mutated bytes (keyless, so an attacker
+        // can): MAC still catches it.
+        let contents = &raw[handle.offset as usize..(handle.offset + handle.size) as usize];
+        let crc = shield_crypto::crc32c_masked(crc32c_extend(
+            crc32c(contents),
+            &[crate::sst::format::COMPRESSION_NONE],
+        ));
+        let crc_at = (handle.offset + handle.size) as usize + 1;
+        raw[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+        env.set_raw_content("t.sst", raw).unwrap();
+        let err = read_verified(file.as_ref(), handle, Some(&ctx)).unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
     }
 }

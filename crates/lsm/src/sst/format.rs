@@ -3,14 +3,21 @@
 use shield_crypto::DekId;
 
 use crate::error::{Error, Result};
+use crate::integrity::{BLOCK_TAG_LEN, CONTEXT_LEN};
 use crate::varint::{get_length_prefixed, get_varint64, put_length_prefixed, put_varint64};
 
 /// Magic number at the end of every table file ("SHLD_SST").
 pub const TABLE_MAGIC: u64 = 0x5348_4c44_5f53_5354;
-/// Fixed footer length: three 16-byte handles + version + magic.
+/// Version-1 footer length: three 16-byte handles + version + magic.
 pub const FOOTER_LEN: usize = 3 * 16 + 4 + 8;
+/// Version-2 (authenticated) footer length: the v1 fields plus the
+/// 16-byte per-file MAC context ahead of the handles.
+pub const FOOTER_V2_LEN: usize = CONTEXT_LEN + FOOTER_LEN;
 /// Per-block trailer: compression tag (1) + CRC32C (4).
 pub const BLOCK_TRAILER_LEN: usize = 5;
+/// Per-block trailer in HMAC (v2) tables: the v1 trailer plus a
+/// truncated HMAC-SHA256 tag.
+pub const HMAC_BLOCK_TRAILER_LEN: usize = BLOCK_TRAILER_LEN + BLOCK_TAG_LEN;
 /// Compression tag meaning "stored raw".
 pub const COMPRESSION_NONE: u8 = 0;
 
@@ -59,6 +66,16 @@ impl BlockHandle {
 }
 
 /// The fixed-size footer at the end of every table file.
+///
+/// Two format versions exist. Both end in `version (u32 LE) ‖ magic
+/// (u64 LE)`, so the version is always readable at a fixed distance
+/// from the file tail:
+///
+/// - **v1** (60 bytes): `filter ‖ properties ‖ index ‖ version ‖ magic`
+///   — blocks carry CRC-only 5-byte trailers.
+/// - **v2** (76 bytes): `context ‖ filter ‖ properties ‖ index ‖
+///   version ‖ magic` — blocks carry 21-byte trailers with an HMAC tag
+///   keyed over the 16-byte per-file `context`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Footer {
     /// Bloom-filter block (size 0 if absent).
@@ -67,36 +84,122 @@ pub struct Footer {
     pub properties: BlockHandle,
     /// Index block.
     pub index: BlockHandle,
+    /// Format version (1 = CRC-only, 2 = authenticated).
+    pub version: u32,
+    /// Per-file MAC context (zeroed in v1 footers).
+    pub context: [u8; CONTEXT_LEN],
 }
 
 impl Footer {
-    /// Serializes the footer.
+    /// A version-1 (CRC-only) footer.
     #[must_use]
-    pub fn encode(&self) -> [u8; FOOTER_LEN] {
-        let mut out = [0u8; FOOTER_LEN];
-        out[..16].copy_from_slice(&self.filter.encode_fixed());
-        out[16..32].copy_from_slice(&self.properties.encode_fixed());
-        out[32..48].copy_from_slice(&self.index.encode_fixed());
-        out[48..52].copy_from_slice(&1u32.to_le_bytes()); // format version
-        out[52..].copy_from_slice(&TABLE_MAGIC.to_le_bytes());
+    pub fn v1(filter: BlockHandle, properties: BlockHandle, index: BlockHandle) -> Footer {
+        Footer { filter, properties, index, version: 1, context: [0u8; CONTEXT_LEN] }
+    }
+
+    /// A version-2 (authenticated) footer carrying the file's MAC
+    /// context.
+    #[must_use]
+    pub fn v2(
+        filter: BlockHandle,
+        properties: BlockHandle,
+        index: BlockHandle,
+        context: [u8; CONTEXT_LEN],
+    ) -> Footer {
+        Footer { filter, properties, index, version: 2, context }
+    }
+
+    /// Encoded length for this footer's version.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        if self.version == 2 { FOOTER_V2_LEN } else { FOOTER_LEN }
+    }
+
+    /// Per-block trailer length for this footer's version.
+    #[must_use]
+    pub fn block_trailer_len(&self) -> usize {
+        if self.version == 2 { HMAC_BLOCK_TRAILER_LEN } else { BLOCK_TRAILER_LEN }
+    }
+
+    /// Serializes the footer in its version's layout.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        if self.version == 2 {
+            out.extend_from_slice(&self.context);
+        }
+        out.extend_from_slice(&self.filter.encode_fixed());
+        out.extend_from_slice(&self.properties.encode_fixed());
+        out.extend_from_slice(&self.index.encode_fixed());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
         out
     }
 
-    /// Parses and validates a footer.
+    /// Parses and validates a footer from an **exactly-sized** buffer.
+    ///
+    /// Framing is strict: any length other than the named version's
+    /// exact footer length is corruption. Sloppy framing (accepting
+    /// trailing padding) would let an attacker append bytes to a table
+    /// without invalidating it.
     pub fn decode(data: &[u8]) -> Result<Footer> {
-        if data.len() < FOOTER_LEN {
+        if data.len() < 12 {
             return Err(Error::Corruption("footer truncated".into()));
         }
-        let data = &data[data.len() - FOOTER_LEN..];
-        let magic = u64::from_le_bytes(crate::varint::fixed(&data[52..60]));
+        let magic = u64::from_le_bytes(crate::varint::fixed(&data[data.len() - 8..]));
         if magic != TABLE_MAGIC {
             return Err(Error::Corruption(format!("bad table magic {magic:#x}")));
         }
+        let version =
+            u32::from_le_bytes(crate::varint::fixed(&data[data.len() - 12..data.len() - 8]));
+        let (expected, context_len) = match version {
+            1 => (FOOTER_LEN, 0),
+            2 => (FOOTER_V2_LEN, CONTEXT_LEN),
+            v => return Err(Error::Corruption(format!("unknown footer version {v}"))),
+        };
+        if data.len() != expected {
+            return Err(Error::Corruption(format!(
+                "footer length mismatch: {} bytes for version {version}",
+                data.len()
+            )));
+        }
+        let mut context = [0u8; CONTEXT_LEN];
+        if context_len > 0 {
+            context.copy_from_slice(&data[..CONTEXT_LEN]);
+        }
+        let h = &data[context_len..];
         Ok(Footer {
-            filter: BlockHandle::decode_fixed(&crate::varint::fixed(&data[..16])),
-            properties: BlockHandle::decode_fixed(&crate::varint::fixed(&data[16..32])),
-            index: BlockHandle::decode_fixed(&crate::varint::fixed(&data[32..48])),
+            filter: BlockHandle::decode_fixed(&crate::varint::fixed(&h[..16])),
+            properties: BlockHandle::decode_fixed(&crate::varint::fixed(&h[16..32])),
+            index: BlockHandle::decode_fixed(&crate::varint::fixed(&h[32..48])),
+            version,
+            context,
         })
+    }
+
+    /// Parses a footer from the last bytes of a file: `tail` is the
+    /// file's trailing bytes (at least [`FOOTER_LEN`], ideally
+    /// [`FOOTER_V2_LEN`]); the version field determines how much of the
+    /// tail is the footer, and that exact slice is decoded strictly.
+    pub fn decode_from_tail(tail: &[u8]) -> Result<Footer> {
+        if tail.len() < FOOTER_LEN {
+            return Err(Error::Corruption("table smaller than footer".into()));
+        }
+        let magic = u64::from_le_bytes(crate::varint::fixed(&tail[tail.len() - 8..]));
+        if magic != TABLE_MAGIC {
+            return Err(Error::Corruption(format!("bad table magic {magic:#x}")));
+        }
+        let version =
+            u32::from_le_bytes(crate::varint::fixed(&tail[tail.len() - 12..tail.len() - 8]));
+        let expected = match version {
+            1 => FOOTER_LEN,
+            2 => FOOTER_V2_LEN,
+            v => return Err(Error::Corruption(format!("unknown footer version {v}"))),
+        };
+        if tail.len() < expected {
+            return Err(Error::Corruption("footer truncated".into()));
+        }
+        Footer::decode(&tail[tail.len() - expected..])
     }
 }
 
@@ -205,30 +308,76 @@ mod tests {
 
     #[test]
     fn footer_roundtrip() {
-        let f = Footer {
-            filter: BlockHandle { offset: 1, size: 2 },
-            properties: BlockHandle { offset: 3, size: 4 },
-            index: BlockHandle { offset: 5, size: 6 },
-        };
+        let f = Footer::v1(
+            BlockHandle { offset: 1, size: 2 },
+            BlockHandle { offset: 3, size: 4 },
+            BlockHandle { offset: 5, size: 6 },
+        );
         let enc = f.encode();
+        assert_eq!(enc.len(), FOOTER_LEN);
         assert_eq!(Footer::decode(&enc).unwrap(), f);
-        // Works with a longer prefix, too (decoder uses the tail).
+        // Inexact framing is rejected: a prefixed buffer must NOT decode
+        // (it used to — sloppy framing is exploitable parser laxity).
         let mut padded = vec![0u8; 100];
         padded.extend_from_slice(&enc);
-        assert_eq!(Footer::decode(&padded).unwrap(), f);
+        assert!(matches!(Footer::decode(&padded), Err(Error::Corruption(_))));
+        // …but `decode_from_tail` deliberately slices the exact footer
+        // out of a longer file tail.
+        assert_eq!(Footer::decode_from_tail(&padded).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_v2_roundtrip_carries_context() {
+        let f = Footer::v2(
+            BlockHandle { offset: 1, size: 2 },
+            BlockHandle { offset: 3, size: 4 },
+            BlockHandle { offset: 5, size: 6 },
+            [0xabu8; CONTEXT_LEN],
+        );
+        let enc = f.encode();
+        assert_eq!(enc.len(), FOOTER_V2_LEN);
+        let dec = Footer::decode(&enc).unwrap();
+        assert_eq!(dec, f);
+        assert_eq!(dec.version, 2);
+        assert_eq!(dec.context, [0xabu8; CONTEXT_LEN]);
+        assert_eq!(dec.block_trailer_len(), HMAC_BLOCK_TRAILER_LEN);
+        // Tail decode picks the right version even with a longer prefix.
+        let mut padded = vec![0u8; 33];
+        padded.extend_from_slice(&enc);
+        assert_eq!(Footer::decode_from_tail(&padded).unwrap(), f);
+        // Exact-length framing still enforced.
+        assert!(Footer::decode(&padded).is_err());
     }
 
     #[test]
     fn footer_bad_magic_rejected() {
-        let f = Footer {
-            filter: BlockHandle::default(),
-            properties: BlockHandle::default(),
-            index: BlockHandle::default(),
-        };
+        let f = Footer::v1(BlockHandle::default(), BlockHandle::default(), BlockHandle::default());
         let mut enc = f.encode();
         enc[55] ^= 0xff;
         assert!(matches!(Footer::decode(&enc), Err(Error::Corruption(_))));
         assert!(Footer::decode(&enc[..10]).is_err());
+        assert!(Footer::decode_from_tail(&enc).is_err());
+    }
+
+    #[test]
+    fn footer_unknown_version_rejected() {
+        let f = Footer::v1(BlockHandle::default(), BlockHandle::default(), BlockHandle::default());
+        let mut enc = f.encode();
+        // Version field sits just before the magic.
+        enc[FOOTER_LEN - 12..FOOTER_LEN - 8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(Footer::decode(&enc), Err(Error::Corruption(_))));
+        assert!(matches!(Footer::decode_from_tail(&enc), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn footer_version_length_cross_check() {
+        // A v2 version field on a v1-sized buffer must not decode: the
+        // length check is per-version, not "whatever fits".
+        let f = Footer::v1(BlockHandle::default(), BlockHandle::default(), BlockHandle::default());
+        let mut enc = f.encode();
+        enc[FOOTER_LEN - 12..FOOTER_LEN - 8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(Footer::decode(&enc), Err(Error::Corruption(_))));
+        assert!(matches!(Footer::decode_from_tail(&enc), Err(Error::Corruption(_))));
     }
 
     #[test]

@@ -13,11 +13,12 @@ use shield_env::RandomAccessFile;
 
 use crate::cache::{BlockCache, BlockKind};
 use crate::error::{Error, Result};
+use crate::integrity::{IntegrityCtx, ReadIntegrity};
 use crate::iter::InternalIterator;
 use crate::sst::block::BlockIter;
 use crate::sst::fetcher::{read_verified, BlockFetcher, FetchedBlock};
 use crate::sst::filter::BloomFilterReader;
-use crate::sst::format::{BlockHandle, Footer, TableProperties, BLOCK_TRAILER_LEN, FOOTER_LEN};
+use crate::sst::format::{BlockHandle, Footer, TableProperties, FOOTER_LEN, FOOTER_V2_LEN};
 use crate::types::{extract_user_key, make_lookup_key, SequenceNumber};
 
 /// An open, immutable table file.
@@ -33,6 +34,11 @@ pub struct Table {
     props: TableProperties,
     /// Engine tickers (bloom_useful); `None` for standalone tables.
     stats: Option<Arc<crate::statistics::Statistics>>,
+    /// HMAC verification context (`Some` iff the file is format v2);
+    /// threaded into every block fetch.
+    integrity: Option<IntegrityCtx>,
+    /// Per-block trailer length for this file's format version.
+    trailer_len: usize,
 }
 
 impl Table {
@@ -54,27 +60,66 @@ impl Table {
         cache: Option<Arc<BlockCache>>,
         stats: Option<Arc<crate::statistics::Statistics>>,
     ) -> Result<Table> {
-        Self::open_with_fetcher(file, table_id, BlockFetcher::new(cache, 0), stats)
+        Self::open_with_fetcher(
+            file,
+            table_id,
+            BlockFetcher::new(cache, 0),
+            stats,
+            ReadIntegrity::default(),
+        )
     }
 
     /// Opens a table over a shared fetcher (the normal engine path: one
     /// fetcher per `TableCache`, so all tables share its cache, in-flight
-    /// table, and prefetch pool).
+    /// table, and prefetch pool). `integrity` supplies the MAC key that
+    /// verifies format-v2 tables; the file's footer version — not the
+    /// engine option — decides whether verification runs.
     pub fn open_with_fetcher(
         file: Arc<dyn RandomAccessFile>,
         table_id: u64,
         fetcher: Arc<BlockFetcher>,
         stats: Option<Arc<crate::statistics::Statistics>>,
+        integrity: ReadIntegrity,
     ) -> Result<Table> {
         let len = file.len()?;
         if (len as usize) < FOOTER_LEN {
             return Err(Error::Corruption("table smaller than footer".into()));
         }
-        let footer_data = file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN)?;
-        let footer = Footer::decode(&footer_data)?;
-        let index = fetcher.fetch(&file, table_id, footer.index, BlockKind::Index, true)?;
+        let tail_len = (len as usize).min(FOOTER_V2_LEN);
+        let footer_data = file.read_at(len - tail_len as u64, tail_len)?;
+        let footer = Footer::decode_from_tail(&footer_data)?;
+        let trailer_len = footer.block_trailer_len();
+        let ctx = if footer.version >= 2 {
+            Some(IntegrityCtx {
+                key: integrity.key,
+                context: footer.context,
+                file_number: table_id,
+                stats: stats.clone(),
+                events: integrity.events.clone(),
+            })
+        } else {
+            if integrity.expect_hmac {
+                // Legacy file under Hmac mode: readable, unverified —
+                // surfaced so operators can watch compaction retire it.
+                if let Some(stats) = &stats {
+                    stats
+                        .integrity_unprotected_files
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            None
+        };
+        let index =
+            fetcher.fetch(&file, table_id, footer.index, BlockKind::Index, true, ctx.as_ref())?;
         let filter = if footer.filter.size > 0 {
-            let block = fetcher.fetch(&file, table_id, footer.filter, BlockKind::Filter, true)?;
+            let block = fetcher.fetch(
+                &file,
+                table_id,
+                footer.filter,
+                BlockKind::Filter,
+                true,
+                ctx.as_ref(),
+            )?;
             let reader = BloomFilterReader::from_bytes(block.block().raw_bytes().clone());
             Some((block, reader))
         } else {
@@ -82,9 +127,19 @@ impl Table {
         };
         // Properties are decoded once into owned fields; no reason to
         // hold the raw block in cache.
-        let props_raw = read_verified(file.as_ref(), footer.properties)?;
+        let props_raw = read_verified(file.as_ref(), footer.properties, ctx.as_ref())?;
         let props = TableProperties::decode(&props_raw)?;
-        Ok(Table { file, table_id, fetcher, index, filter, props, stats })
+        Ok(Table {
+            file,
+            table_id,
+            fetcher,
+            index,
+            filter,
+            props,
+            stats,
+            integrity: ctx,
+            trailer_len,
+        })
     }
 
     /// Table-level metadata.
@@ -101,7 +156,14 @@ impl Table {
 
     /// Loads a data block through the fetcher.
     fn data_block(&self, handle: BlockHandle, fill_cache: bool) -> Result<FetchedBlock> {
-        self.fetcher.fetch(&self.file, self.table_id, handle, BlockKind::Data, fill_cache)
+        self.fetcher.fetch(
+            &self.file,
+            self.table_id,
+            handle,
+            BlockKind::Data,
+            fill_cache,
+            self.integrity.as_ref(),
+        )
     }
 
     /// Point lookup: returns the first entry for `user_key` visible at
@@ -175,7 +237,7 @@ impl Table {
             let handle = BlockHandle::decode_varint(it.value())?;
             spans.push((
                 extract_user_key(it.key()).to_vec(),
-                handle.size + BLOCK_TRAILER_LEN as u64,
+                handle.size + self.trailer_len as u64,
             ));
             it.next();
         }
@@ -266,7 +328,12 @@ impl TableIterator {
                 continue;
             }
             self.prefetch_watermark = handle.offset;
-            self.table.fetcher.prefetch(&self.table.file, self.table.table_id, handle);
+            self.table.fetcher.prefetch(
+                &self.table.file,
+                self.table.table_id,
+                handle,
+                self.table.integrity.as_ref(),
+            );
         }
     }
 
@@ -507,7 +574,9 @@ mod tests {
         let cache = BlockCache::new(1 << 20);
         let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
         let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
-        let t = Arc::new(Table::open_with_fetcher(file, 7, fetcher, None).unwrap());
+        let t = Arc::new(
+            Table::open_with_fetcher(file, 7, fetcher, None, ReadIntegrity::default()).unwrap(),
+        );
         let mut it = t.iter(); // inherits readahead depth 4
         it.seek_to_first();
         let mut count = 0;
@@ -518,6 +587,79 @@ mod tests {
         assert_eq!(count, 500);
         it.status().unwrap();
         assert!(cache.stats().readahead_issued > 0, "scan should issue prefetch");
+    }
+
+    #[test]
+    fn hmac_table_end_to_end_get_scan_and_tamper() {
+        let key = [5u8; 32];
+        let env = MemEnv::new();
+        let file = env.new_writable_file("t.sst", FileKind::Sst).unwrap();
+        let opts = TableBuilderOptions {
+            block_size: 256,
+            mac_key: Some(key),
+            ..TableBuilderOptions::default()
+        };
+        let mut b = TableBuilder::new(file, opts);
+        for i in 0..300u32 {
+            let ik = make_internal_key(format!("key{i:06}").as_bytes(), 10, ValueType::Value);
+            b.add(&ik, format!("value-{i}").as_bytes()).unwrap();
+        }
+        b.finish().unwrap();
+        let open = |env: &MemEnv| {
+            let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+            Table::open_with_fetcher(
+                file,
+                9,
+                BlockFetcher::new(None, 0),
+                None,
+                ReadIntegrity { key, expect_hmac: true, events: None },
+            )
+        };
+        let t = Arc::new(open(&env).unwrap());
+        // Gets and full scans verify every block and succeed untampered.
+        assert_eq!(t.get(b"key000100", 100).unwrap().unwrap().1, b"value-100");
+        let mut it = t.iter();
+        it.seek_to_first();
+        let mut count = 0;
+        while it.valid() {
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 300);
+        it.status().unwrap();
+        // Flip a bit inside the first data block's contents: the scan
+        // must die with IntegrityViolation.
+        let mut raw = env.raw_content("t.sst").unwrap();
+        raw[10] ^= 0x01;
+        env.set_raw_content("t.sst", raw).unwrap();
+        let t = Arc::new(open(&env).unwrap());
+        let mut it = t.iter();
+        it.seek_to_first();
+        while it.valid() {
+            it.next();
+        }
+        let err = it.status().unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn legacy_table_under_hmac_mode_bumps_unprotected_gauge() {
+        let env = MemEnv::new();
+        build_table(&env, "t.sst", 100, 4096); // v1 file
+        let stats = crate::statistics::Statistics::new();
+        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let t = Table::open_with_fetcher(
+            file,
+            3,
+            BlockFetcher::new(None, 0),
+            Some(stats.clone()),
+            ReadIntegrity { key: [1u8; 32], expect_hmac: true, events: None },
+        )
+        .unwrap();
+        assert_eq!(stats.snapshot().integrity_unprotected_files, 1);
+        // Still fully readable (and CRC-checked, not MAC-checked).
+        assert!(t.get(b"key000050", 100).unwrap().is_some());
+        assert_eq!(stats.snapshot().integrity_checks, 0);
     }
 
     #[test]

@@ -123,6 +123,10 @@ tickers! {
         bg_retries,
         /// Recoverable background errors cleared by [`crate::Db::resume`].
         resumes,
+        /// HMAC tag verifications performed on reads (blocks + records).
+        integrity_checks,
+        /// HMAC tag mismatches — tampering detected.
+        integrity_failures,
     }
     gauges {
         /// Block-cache lifetime hits, mirrored from the cache when
@@ -165,6 +169,10 @@ tickers! {
         /// DEK resolutions served from cache while the KDS was unreachable,
         /// mirrored from the resolver.
         resolver_degraded_hits,
+        /// Legacy (pre-HMAC format) files opened while
+        /// [`crate::integrity::Integrity::Hmac`] is on: readable but
+        /// unverified until compaction rewrites them.
+        integrity_unprotected_files,
     }
 }
 
@@ -219,6 +227,6 @@ mod tests {
         for (n, _) in &counters {
             assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");
         }
-        assert_eq!(counters.len() + gauges.len(), 38);
+        assert_eq!(counters.len() + gauges.len(), 41);
     }
 }

@@ -8,6 +8,7 @@ use shield_env::{Env, FileKind};
 
 use crate::encryption::EncryptionConfig;
 use crate::error::{Error, Result};
+use crate::integrity::{Integrity, IntegrityOptions};
 use crate::version::edit::{FileMeta, VersionEdit};
 use crate::version::filenames::{current_file_name, manifest_file_name};
 use crate::version::table_cache::TableCache;
@@ -26,6 +27,7 @@ pub struct VersionSet {
     /// its files without the state lock). Obsolete-file deletion must
     /// treat their files as live until the last reader drops its pin.
     retired: Vec<Weak<Version>>,
+    integrity: IntegrityOptions,
     manifest: Option<LogWriter>,
     manifest_number: u64,
     next_file_number: u64,
@@ -49,12 +51,20 @@ impl VersionSet {
             table_cache,
             current: Arc::new(Version::new()),
             retired: Vec::new(),
+            integrity: IntegrityOptions::default(),
             manifest: None,
             manifest_number: 0,
             next_file_number: 1,
             last_sequence: 0,
             log_number: 0,
         }
+    }
+
+    /// Sets the integrity settings used for manifests written (and
+    /// verified) by this set. Call before [`create_new`](Self::create_new)
+    /// or [`recover`](Self::recover).
+    pub fn set_integrity(&mut self, integrity: IntegrityOptions) {
+        self.integrity = integrity;
     }
 
     /// The current version.
@@ -122,11 +132,16 @@ impl VersionSet {
             .map_err(|_| Error::Corruption("CURRENT not utf-8".into()))?;
         let name = name.trim().to_string();
         let manifest_path = shield_env::join_path(&self.path, &name);
-        let file = match &self.encryption {
-            Some(cfg) => cfg.open_sequential(self.env.as_ref(), &manifest_path, FileKind::Manifest)?,
-            None => self.env.new_sequential_file(&manifest_path, FileKind::Manifest)?,
+        let (file, dek_mac) = match &self.encryption {
+            Some(cfg) => {
+                cfg.open_sequential_with_mac(self.env.as_ref(), &manifest_path, FileKind::Manifest)?
+            }
+            None => (self.env.new_sequential_file(&manifest_path, FileKind::Manifest)?, None),
         };
-        let mut reader = LogReader::new(file);
+        // Always hand the reader a key: authenticated manifests verify
+        // regardless of the current mode (format-driven verification).
+        let mut reader =
+            LogReader::with_integrity(file, Some(dek_mac.unwrap_or(self.integrity.key)));
         let mut builder = Builder::new(Version::new());
         let mut next_file = self.next_file_number;
         let mut last_seq = self.last_sequence;
@@ -170,17 +185,18 @@ impl VersionSet {
         env: &dyn Env,
         path: &str,
         encryption: Option<&EncryptionConfig>,
+        integrity: IntegrityOptions,
     ) -> Result<(Version, u64, u64)> {
         let current_path = shield_env::join_path(path, &current_file_name());
         let name = shield_env::read_file_to_vec(env, &current_path, FileKind::Manifest)?;
         let name = String::from_utf8(name)
             .map_err(|_| Error::Corruption("CURRENT not utf-8".into()))?;
         let manifest_path = shield_env::join_path(path, name.trim());
-        let file = match encryption {
-            Some(cfg) => cfg.open_sequential(env, &manifest_path, FileKind::Manifest)?,
-            None => env.new_sequential_file(&manifest_path, FileKind::Manifest)?,
+        let (file, dek_mac) = match encryption {
+            Some(cfg) => cfg.open_sequential_with_mac(env, &manifest_path, FileKind::Manifest)?,
+            None => (env.new_sequential_file(&manifest_path, FileKind::Manifest)?, None),
         };
-        let mut reader = LogReader::new(file);
+        let mut reader = LogReader::with_integrity(file, Some(dek_mac.unwrap_or(integrity.key)));
         let mut builder = Builder::new(Version::new());
         let mut last_seq = 0u64;
         let mut log_number = 0u64;
@@ -203,14 +219,17 @@ impl VersionSet {
         let number = self.new_file_number();
         let name = manifest_file_name(number);
         let manifest_path = shield_env::join_path(&self.path, &name);
-        let file = match &self.encryption {
+        let (file, dek_mac) = match &self.encryption {
             Some(cfg) => {
-                let (f, _) = cfg.new_writable(self.env.as_ref(), &manifest_path, FileKind::Manifest)?;
-                f
+                let (f, _, mac) =
+                    cfg.new_writable_with_mac(self.env.as_ref(), &manifest_path, FileKind::Manifest)?;
+                (f, mac)
             }
-            None => self.env.new_writable_file(&manifest_path, FileKind::Manifest)?,
+            None => (self.env.new_writable_file(&manifest_path, FileKind::Manifest)?, None),
         };
-        let mut writer = LogWriter::new(file);
+        let mac_key = (self.integrity.mode == Integrity::Hmac)
+            .then(|| dek_mac.unwrap_or(self.integrity.key));
+        let mut writer = LogWriter::with_integrity(file, mac_key)?;
         // Snapshot edit.
         let mut snapshot = VersionEdit {
             log_number: Some(self.log_number),
@@ -407,6 +426,43 @@ mod tests {
             })
             .unwrap();
         assert_eq!(v.files[2][0].number, 21); // "a" range sorts first
+    }
+
+    #[test]
+    fn hmac_manifest_roundtrip_and_replay_detection() {
+        let env = MemEnv::new();
+        let key = [9u8; 32];
+        let opts = IntegrityOptions { mode: Integrity::Hmac, key };
+        {
+            let mut vs = new_set(&env);
+            vs.set_integrity(opts);
+            vs.create_new().unwrap();
+            vs.log_and_apply(VersionEdit {
+                new_files: vec![(1, meta(10, "a", "z"))],
+                ..VersionEdit::default()
+            })
+            .unwrap();
+        }
+        let manifest;
+        {
+            let mut vs = new_set(&env);
+            vs.set_integrity(opts);
+            vs.recover().unwrap();
+            assert_eq!(vs.current().level_files(1), 1);
+            manifest = manifest_file_name(vs.manifest_number());
+        }
+        // Replay attack: append a copy of the manifest's records. Every
+        // CRC stays valid; the fragment counters do not.
+        let path = shield_env::join_path("db", &manifest);
+        let mut raw = env.raw_content(&path).unwrap();
+        assert_eq!(&raw[..8], b"SHLDLOG2");
+        let dup = raw[crate::wal::LOG_PREAMBLE_LEN..].to_vec();
+        raw.extend_from_slice(&dup);
+        env.set_raw_content(&path, raw).unwrap();
+        let mut vs = new_set(&env);
+        vs.set_integrity(opts);
+        let err = vs.recover().unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use shield_env::{Env, FileKind};
 use crate::cache::BlockCache;
 use crate::encryption::EncryptionConfig;
 use crate::error::Result;
+use crate::integrity::{Integrity, IntegrityOptions, ReadIntegrity};
 use crate::sst::{BlockFetcher, Table};
 use crate::version::filenames::sst_file_name;
 
@@ -31,6 +32,8 @@ pub struct TableCache {
     encryption: Option<EncryptionConfig>,
     fetcher: Arc<BlockFetcher>,
     stats: Option<Arc<crate::statistics::Statistics>>,
+    integrity: IntegrityOptions,
+    events: Option<Arc<shield_core::EventDispatcher>>,
     capacity: usize,
     inner: Mutex<Inner>,
 }
@@ -45,13 +48,25 @@ impl TableCache {
         block_cache: Option<Arc<BlockCache>>,
         capacity: usize,
     ) -> Arc<Self> {
-        Self::new_with_stats(env, db_path, encryption, block_cache, None, capacity, 0)
+        Self::new_with_stats(
+            env,
+            db_path,
+            encryption,
+            block_cache,
+            None,
+            capacity,
+            0,
+            IntegrityOptions::default(),
+            None,
+        )
     }
 
     /// [`TableCache::new`] with an engine ticker sink handed to every
-    /// opened [`Table`] (for `bloom_useful` accounting) and a default
-    /// readahead depth for iterators over these tables.
+    /// opened [`Table`] (for `bloom_useful` accounting), a default
+    /// readahead depth for iterators over these tables, and the engine's
+    /// integrity settings plus the event sink violations report to.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new_with_stats(
         env: Arc<dyn Env>,
         db_path: String,
@@ -60,6 +75,8 @@ impl TableCache {
         stats: Option<Arc<crate::statistics::Statistics>>,
         capacity: usize,
         readahead_blocks: usize,
+        integrity: IntegrityOptions,
+        events: Option<Arc<shield_core::EventDispatcher>>,
     ) -> Arc<Self> {
         Arc::new(TableCache {
             env,
@@ -67,6 +84,8 @@ impl TableCache {
             encryption,
             fetcher: BlockFetcher::new(block_cache, readahead_blocks),
             stats,
+            integrity,
+            events,
             capacity: capacity.max(4),
             inner: Mutex::new(Inner { tables: HashMap::new(), tick: 0 }),
         })
@@ -91,15 +110,23 @@ impl TableCache {
         }
         // Open outside the lock: DEK resolution may hit the network.
         let path = shield_env::join_path(&self.db_path, &sst_file_name(file_number));
-        let file = match &self.encryption {
-            Some(cfg) => cfg.open_random(self.env.as_ref(), &path, FileKind::Sst)?,
-            None => self.env.new_random_access_file(&path, FileKind::Sst)?,
+        // SHIELD files verify with a subkey of their own DEK; plaintext
+        // files fall back to the engine-wide integrity key.
+        let (file, dek_mac) = match &self.encryption {
+            Some(cfg) => cfg.open_random_with_mac(self.env.as_ref(), &path, FileKind::Sst)?,
+            None => (self.env.new_random_access_file(&path, FileKind::Sst)?, None),
+        };
+        let read_integrity = ReadIntegrity {
+            key: dek_mac.unwrap_or(self.integrity.key),
+            expect_hmac: self.integrity.mode == Integrity::Hmac,
+            events: self.events.clone(),
         };
         let table = Arc::new(Table::open_with_fetcher(
             file,
             file_number,
             self.fetcher.clone(),
             self.stats.clone(),
+            read_integrity,
         )?);
         let mut inner = self.inner.lock();
         inner.tick += 1;

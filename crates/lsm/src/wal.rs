@@ -12,32 +12,89 @@
 //! batched) just before persistence — exactly the paper's "encryption right
 //! before persistence" placement for WAL writes (§5.2).
 
+use std::sync::Arc;
+
+use shield_core::EventDispatcher;
 use shield_crypto::{crc32c, crc32c_masked, crc32c_unmask};
 use shield_env::{SequentialFile, WritableFile};
 
 use crate::error::{Error, Result};
+use crate::integrity::{record_tag, IntegrityCtx, BLOCK_TAG_LEN, CONTEXT_LEN};
+use crate::statistics::Statistics;
 
 /// Log block size (32 KiB, as in RocksDB).
 pub const BLOCK_SIZE: usize = 32 * 1024;
 /// Record header: crc (4) + length (2) + type (1).
 pub const HEADER_SIZE: usize = 7;
+/// Record header in authenticated logs: the legacy header plus a
+/// truncated HMAC tag.
+pub const HMAC_HEADER_SIZE: usize = HEADER_SIZE + BLOCK_TAG_LEN;
+/// Magic opening an authenticated log's preamble ("SHLDLOG2").
+pub const HMAC_LOG_MAGIC: [u8; 8] = *b"SHLDLOG2";
+/// Authenticated-log preamble: magic (8) + per-file context (16) +
+/// reserved zeros (8). Counted *within* block 0, so block framing on
+/// both sides stays 32 KiB-aligned.
+pub const LOG_PREAMBLE_LEN: usize = 32;
 
 const FULL: u8 = 1;
 const FIRST: u8 = 2;
 const MIDDLE: u8 = 3;
 const LAST: u8 = 4;
 
+/// Write-side integrity state: the key, the file's minted context, and
+/// the monotonic fragment counter every tag binds (so replayed, spliced,
+/// or reordered records verify against the wrong position and fail).
+struct WriterIntegrity {
+    key: [u8; 32],
+    context: [u8; CONTEXT_LEN],
+    counter: u64,
+}
+
 /// Appends length-delimited, checksummed records to a writable file.
 pub struct LogWriter {
     dest: Box<dyn WritableFile>,
     block_offset: usize,
+    integrity: Option<WriterIntegrity>,
 }
 
 impl LogWriter {
-    /// Creates a writer positioned at the start of `dest`.
+    /// Creates a legacy (CRC-only) writer positioned at the start of
+    /// `dest`.
     #[must_use]
     pub fn new(dest: Box<dyn WritableFile>) -> Self {
-        LogWriter { dest, block_offset: 0 }
+        LogWriter { dest, block_offset: 0, integrity: None }
+    }
+
+    /// Creates a writer at the start of `dest`; with `Some(mac_key)` the
+    /// log is authenticated: a preamble with a fresh random context opens
+    /// the file and every record header carries an HMAC tag.
+    pub fn with_integrity(
+        dest: Box<dyn WritableFile>,
+        mac_key: Option<[u8; 32]>,
+    ) -> Result<Self> {
+        let Some(key) = mac_key else { return Ok(Self::new(dest)) };
+        let mut context = [0u8; CONTEXT_LEN];
+        shield_crypto::secure_random(&mut context);
+        let mut writer = LogWriter {
+            dest,
+            block_offset: LOG_PREAMBLE_LEN,
+            integrity: Some(WriterIntegrity { key, context, counter: 0 }),
+        };
+        let mut preamble = [0u8; LOG_PREAMBLE_LEN];
+        preamble[..8].copy_from_slice(&HMAC_LOG_MAGIC);
+        preamble[8..8 + CONTEXT_LEN].copy_from_slice(&context);
+        writer.dest.append(&preamble)?;
+        Ok(writer)
+    }
+
+    /// True if this writer produces an authenticated log.
+    #[must_use]
+    pub fn is_hmac(&self) -> bool {
+        self.integrity.is_some()
+    }
+
+    fn header_size(&self) -> usize {
+        if self.integrity.is_some() { HMAC_HEADER_SIZE } else { HEADER_SIZE }
     }
 
     /// Appends one record (atomically recoverable as a unit).
@@ -51,18 +108,19 @@ impl LogWriter {
     }
 
     fn add_record_inner(&mut self, payload: &[u8]) -> Result<()> {
+        let header_size = self.header_size();
         let mut left = payload;
         let mut begin = true;
         loop {
             let leftover = BLOCK_SIZE - self.block_offset;
-            if leftover < HEADER_SIZE {
+            if leftover < header_size {
                 // Pad the block tail with zeros and start a new block.
                 if leftover > 0 {
-                    self.dest.append(&[0u8; HEADER_SIZE - 1][..leftover])?;
+                    self.dest.append(&[0u8; HMAC_HEADER_SIZE - 1][..leftover])?;
                 }
                 self.block_offset = 0;
             }
-            let available = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let available = BLOCK_SIZE - self.block_offset - header_size;
             let fragment_len = left.len().min(available);
             let end = fragment_len == left.len();
             let record_type = match (begin, end) {
@@ -94,8 +152,19 @@ impl LogWriter {
         header[4..6].copy_from_slice(&(fragment.len() as u16).to_le_bytes());
         header[6] = record_type;
         self.dest.append(&header)?;
+        if let Some(integrity) = &mut self.integrity {
+            let tag = record_tag(
+                &integrity.key,
+                &integrity.context,
+                integrity.counter,
+                record_type,
+                fragment,
+            );
+            integrity.counter += 1;
+            self.dest.append(&tag)?;
+        }
         self.dest.append(fragment)?;
-        self.block_offset += HEADER_SIZE + fragment.len();
+        self.block_offset += self.header_size() + fragment.len();
         Ok(())
     }
 
@@ -123,11 +192,24 @@ impl LogWriter {
         self.dest.len()
     }
 
-    /// True if nothing has been written.
+    /// True if no records have been written (an authenticated log's
+    /// preamble alone does not count).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        let floor = if self.integrity.is_some() { LOG_PREAMBLE_LEN as u64 } else { 0 };
+        self.len() <= floor
     }
+}
+
+/// Log format, detected from the first block's bytes.
+enum ReaderMode {
+    /// Nothing read yet.
+    Unknown,
+    /// Classic CRC-only log.
+    Legacy,
+    /// Authenticated log: preamble seen, every fragment's tag verified
+    /// against the monotonic counter.
+    Hmac { ctx: IntegrityCtx, counter: u64 },
 }
 
 /// Reads records written by [`LogWriter`].
@@ -139,12 +221,27 @@ pub struct LogReader {
     eof: bool,
     /// True once a mid-file corruption (not a torn tail) was seen.
     corruption: Option<String>,
+    /// MAC key for authenticated logs (engine key or DEK subkey).
+    key: Option<[u8; 32]>,
+    mode: ReaderMode,
+    /// Observability identity/sinks for violation reporting.
+    file_number: u64,
+    stats: Option<Arc<Statistics>>,
+    events: Option<Arc<EventDispatcher>>,
 }
 
 impl LogReader {
-    /// Creates a reader over `src`.
+    /// Creates a legacy reader over `src`; authenticated logs are
+    /// rejected (no key to verify them with).
     #[must_use]
     pub fn new(src: Box<dyn SequentialFile>) -> Self {
+        Self::with_integrity(src, None)
+    }
+
+    /// Creates a reader that auto-detects the log format: a `SHLDLOG2`
+    /// preamble switches on per-record tag verification with `key`.
+    #[must_use]
+    pub fn with_integrity(src: Box<dyn SequentialFile>, key: Option<[u8; 32]>) -> Self {
         LogReader {
             src,
             block: vec![0u8; BLOCK_SIZE],
@@ -152,6 +249,45 @@ impl LogReader {
             pos: 0,
             eof: false,
             corruption: None,
+            key,
+            mode: ReaderMode::Unknown,
+            file_number: 0,
+            stats: None,
+            events: None,
+        }
+    }
+
+    /// Attaches the file number and observability sinks used when a
+    /// violation is reported. Must be called before the first read.
+    #[must_use]
+    pub fn with_sinks(
+        mut self,
+        file_number: u64,
+        stats: Option<Arc<Statistics>>,
+        events: Option<Arc<EventDispatcher>>,
+    ) -> Self {
+        self.file_number = file_number;
+        self.stats = stats;
+        self.events = events;
+        self
+    }
+
+    /// True once the log was identified as authenticated.
+    #[must_use]
+    pub fn is_hmac(&self) -> bool {
+        matches!(self.mode, ReaderMode::Hmac { .. })
+    }
+
+    /// True once the log was identified as a legacy (CRC-only) log.
+    #[must_use]
+    pub fn is_legacy(&self) -> bool {
+        matches!(self.mode, ReaderMode::Legacy)
+    }
+
+    fn header_size(&self) -> usize {
+        match self.mode {
+            ReaderMode::Hmac { .. } => HMAC_HEADER_SIZE,
+            _ => HEADER_SIZE,
         }
     }
 
@@ -203,7 +339,8 @@ impl LogReader {
     /// Reads one fragment; `Ok(None)` means clean or torn end of log.
     fn read_fragment(&mut self) -> Result<Option<(u8, Vec<u8>)>> {
         loop {
-            if self.block_len - self.pos < HEADER_SIZE {
+            let header_size = self.header_size();
+            if self.block_len - self.pos < header_size {
                 if !self.refill()? {
                     return Ok(None);
                 }
@@ -218,7 +355,7 @@ impl LogReader {
                 self.pos = self.block_len;
                 continue;
             }
-            if self.pos + HEADER_SIZE + len > self.block_len {
+            if self.pos + header_size + len > self.block_len {
                 // A fragment can never legitimately overrun its block. In
                 // the final block this is a torn tail; earlier it means the
                 // length field itself is corrupt.
@@ -228,24 +365,39 @@ impl LogReader {
                 return Ok(None);
             }
             let fragment =
-                self.block[self.pos + HEADER_SIZE..self.pos + HEADER_SIZE + len].to_vec();
+                self.block[self.pos + header_size..self.pos + header_size + len].to_vec();
             let mut check = Vec::with_capacity(1 + len);
             check.push(record_type);
             check.extend_from_slice(&fragment);
-            if crc32c_unmask(stored_crc) != crc32c(&check) {
-                // A bad checksum in the last block is a torn tail; anywhere
-                // else it is corruption.
-                if self.eof {
-                    return Ok(None);
-                }
+            let crc_ok = crc32c_unmask(stored_crc) == crc32c(&check);
+            if !crc_ok && self.eof {
+                // A bad checksum in the last block is a torn tail — the
+                // normal aftermath of a crash, indistinguishable from (and
+                // treated like) a truncated write.
+                return Ok(None);
+            }
+            if let ReaderMode::Hmac { ctx, counter } = &mut self.mode {
+                // Authenticated logs verify the tag before classifying a
+                // CRC mismatch: mid-file damage under Hmac is reported as
+                // a violation, and a valid-CRC fragment whose tag binds
+                // the wrong counter/context (replay, reorder, splice) is
+                // caught even in the final block.
+                let tag_start = self.pos + HEADER_SIZE;
+                let stored_tag = &self.block[tag_start..tag_start + BLOCK_TAG_LEN];
+                ctx.verify_record(*counter, record_type, &fragment, stored_tag)?;
+                *counter += 1;
+            }
+            if !crc_ok {
                 return Err(self.fail("checksum mismatch"));
             }
-            self.pos += HEADER_SIZE + len;
+            self.pos += header_size + len;
             return Ok(Some((record_type, fragment)));
         }
     }
 
-    /// Loads the next block; returns false at end of file.
+    /// Loads the next block; returns false at end of file. The first
+    /// block also decides the log format: a `SHLDLOG2` preamble selects
+    /// authenticated mode (requiring a key), anything else is legacy.
     fn refill(&mut self) -> Result<bool> {
         if self.eof {
             return Ok(false);
@@ -264,6 +416,27 @@ impl LogReader {
             filled += n;
         }
         self.block_len = filled;
+        if matches!(self.mode, ReaderMode::Unknown) {
+            if filled >= HMAC_LOG_MAGIC.len() && self.block[..8] == HMAC_LOG_MAGIC {
+                if filled < LOG_PREAMBLE_LEN {
+                    // Torn preamble: a crash during log creation. No
+                    // record can have been acknowledged — empty log.
+                    return Ok(false);
+                }
+                let Some(key) = self.key else {
+                    return Err(self.fail("authenticated log but no MAC key"));
+                };
+                let mut context = [0u8; CONTEXT_LEN];
+                context.copy_from_slice(&self.block[8..8 + CONTEXT_LEN]);
+                let mut ctx = IntegrityCtx::new(key, context, self.file_number);
+                ctx.stats = self.stats.clone();
+                ctx.events = self.events.clone();
+                self.mode = ReaderMode::Hmac { ctx, counter: 0 };
+                self.pos = LOG_PREAMBLE_LEN;
+            } else {
+                self.mode = ReaderMode::Legacy;
+            }
+        }
         Ok(filled >= HEADER_SIZE)
     }
 }
@@ -385,5 +558,186 @@ mod tests {
         let records = vec![vec![7u8; first_len], b"after-padding".to_vec()];
         write_records(&env, "log", &records);
         assert_eq!(read_all(&env, "log"), records);
+    }
+
+    // ---- authenticated (HMAC) log format ----
+
+    const KEY: [u8; 32] = [0x5a; 32];
+
+    fn write_records_hmac(env: &MemEnv, path: &str, records: &[Vec<u8>]) {
+        let file = env.new_writable_file(path, FileKind::Wal).unwrap();
+        let mut w = LogWriter::with_integrity(file, Some(KEY)).unwrap();
+        assert!(w.is_hmac());
+        for r in records {
+            w.add_record(r).unwrap();
+        }
+        w.sync().unwrap();
+    }
+
+    fn read_all_hmac(env: &MemEnv, path: &str) -> Result<Vec<Vec<u8>>> {
+        let file = env.new_sequential_file(path, FileKind::Wal).unwrap();
+        let mut r = LogReader::with_integrity(file, Some(KEY));
+        let mut out = Vec::new();
+        while let Some(rec) = r.read_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    fn rewrite(env: &MemEnv, path: &str, raw: &[u8]) {
+        env.set_raw_content(path, raw.to_vec()).unwrap();
+    }
+
+    #[test]
+    fn hmac_roundtrip_and_format_detection() {
+        let env = MemEnv::new();
+        let records = vec![
+            b"one".to_vec(),
+            Vec::new(),
+            vec![2u8; BLOCK_SIZE * 2 + 17],                  // spans blocks
+            vec![9u8; BLOCK_SIZE - LOG_PREAMBLE_LEN],        // forces fragmentation
+            b"tail".to_vec(),
+        ];
+        write_records_hmac(&env, "log", &records);
+        let raw = env.raw_content("log").unwrap();
+        assert_eq!(&raw[..8], &HMAC_LOG_MAGIC);
+        let file = env.new_sequential_file("log", FileKind::Wal).unwrap();
+        let mut r = LogReader::with_integrity(file, Some(KEY));
+        let mut out = Vec::new();
+        while let Some(rec) = r.read_record().unwrap() {
+            out.push(rec);
+        }
+        assert_eq!(out, records);
+        assert!(r.is_hmac());
+        assert!(!r.is_legacy());
+    }
+
+    #[test]
+    fn hmac_block_padding_and_exact_boundary() {
+        let env = MemEnv::new();
+        // First block holds the 32-byte preamble; fill its available
+        // space exactly, then leave a sub-header tail to force padding.
+        let exact = BLOCK_SIZE - LOG_PREAMBLE_LEN - HMAC_HEADER_SIZE;
+        let pad_forcer = BLOCK_SIZE - HMAC_HEADER_SIZE - HMAC_HEADER_SIZE + 1;
+        let records = vec![vec![1u8; exact], vec![2u8; pad_forcer], b"after".to_vec()];
+        write_records_hmac(&env, "log", &records);
+        assert_eq!(read_all_hmac(&env, "log").unwrap(), records);
+    }
+
+    #[test]
+    fn hmac_torn_tail_is_still_silent_end() {
+        let env = MemEnv::new();
+        write_records_hmac(&env, "log", &[b"keep-me".to_vec(), b"will-be-torn".to_vec()]);
+        let raw = env.raw_content("log").unwrap();
+        rewrite(&env, "log", &raw[..raw.len() - 5]);
+        assert_eq!(read_all_hmac(&env, "log").unwrap(), vec![b"keep-me".to_vec()]);
+    }
+
+    #[test]
+    fn hmac_torn_preamble_is_empty_log() {
+        let env = MemEnv::new();
+        write_records_hmac(&env, "log", &[b"rec".to_vec()]);
+        let raw = env.raw_content("log").unwrap();
+        rewrite(&env, "log", &raw[..10]); // magic present, context torn
+        assert!(read_all_hmac(&env, "log").unwrap().is_empty());
+    }
+
+    #[test]
+    fn hmac_log_without_key_is_rejected() {
+        let env = MemEnv::new();
+        write_records_hmac(&env, "log", &[b"rec".to_vec()]);
+        let file = env.new_sequential_file("log", FileKind::Wal).unwrap();
+        let mut r = LogReader::new(file);
+        assert!(matches!(r.read_record(), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn hmac_mid_file_flip_is_integrity_violation() {
+        let env = MemEnv::new();
+        let records: Vec<Vec<u8>> =
+            (0..4000).map(|i| format!("record-{i:05}").into_bytes()).collect();
+        write_records_hmac(&env, "log", &records);
+        let mut raw = env.raw_content("log").unwrap();
+        raw[100] ^= 0xff; // payload byte of an early record
+        rewrite(&env, "log", &raw);
+        let err = read_all_hmac(&env, "log").unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn hmac_record_swap_is_integrity_violation() {
+        let env = MemEnv::new();
+        // Two same-length FULL records: swapping their bytes keeps every
+        // CRC valid, but each tag binds the fragment counter.
+        write_records_hmac(&env, "log", &[b"aaaa".to_vec(), b"bbbb".to_vec()]);
+        let mut raw = env.raw_content("log").unwrap();
+        let rec_len = HMAC_HEADER_SIZE + 4;
+        let a = LOG_PREAMBLE_LEN;
+        let b = a + rec_len;
+        let (first, second) = raw.split_at_mut(b);
+        first[a..b].swap_with_slice(&mut second[..rec_len]);
+        rewrite(&env, "log", &raw);
+        let err = read_all_hmac(&env, "log").unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn hmac_replayed_record_is_integrity_violation() {
+        let env = MemEnv::new();
+        // Duplicate the first record right after itself: a replay with a
+        // perfectly valid CRC, detected because the tag binds counter 0.
+        write_records_hmac(&env, "log", &[b"pay-bob-$5".to_vec()]);
+        let mut raw = env.raw_content("log").unwrap();
+        let rec = raw[LOG_PREAMBLE_LEN..].to_vec();
+        raw.extend_from_slice(&rec);
+        rewrite(&env, "log", &raw);
+        let file = env.new_sequential_file("log", FileKind::Wal).unwrap();
+        let mut r = LogReader::with_integrity(file, Some(KEY));
+        assert_eq!(r.read_record().unwrap().unwrap(), b"pay-bob-$5".to_vec());
+        let err = r.read_record().unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn hmac_cross_log_splice_is_integrity_violation() {
+        let env = MemEnv::new();
+        // Same key, same payload, two logs: each log's random context
+        // makes a record from one unverifiable in the other.
+        write_records_hmac(&env, "a", &[b"same-payload".to_vec()]);
+        write_records_hmac(&env, "b", &[b"same-payload".to_vec()]);
+        let donor = env.raw_content("b").unwrap();
+        let mut raw = env.raw_content("a").unwrap();
+        raw[LOG_PREAMBLE_LEN..].copy_from_slice(&donor[LOG_PREAMBLE_LEN..]);
+        rewrite(&env, "a", &raw);
+        let err = read_all_hmac(&env, "a").unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn legacy_log_reads_fine_under_integrity_reader() {
+        let env = MemEnv::new();
+        let records = vec![b"old".to_vec(), b"format".to_vec()];
+        write_records(&env, "log", &records);
+        let file = env.new_sequential_file("log", FileKind::Wal).unwrap();
+        let mut r = LogReader::with_integrity(file, Some(KEY));
+        let mut out = Vec::new();
+        while let Some(rec) = r.read_record().unwrap() {
+            out.push(rec);
+        }
+        assert_eq!(out, records);
+        assert!(r.is_legacy());
+        assert!(!r.is_hmac());
+    }
+
+    #[test]
+    fn hmac_empty_writer_reports_empty() {
+        let env = MemEnv::new();
+        let file = env.new_writable_file("log", FileKind::Wal).unwrap();
+        let mut w = LogWriter::with_integrity(file, Some(KEY)).unwrap();
+        assert!(w.is_empty());
+        w.add_record(b"x").unwrap();
+        assert!(!w.is_empty());
+        w.sync().unwrap();
+        assert_eq!(read_all_hmac(&env, "log").unwrap(), vec![b"x".to_vec()]);
     }
 }

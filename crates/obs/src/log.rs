@@ -138,6 +138,10 @@ pub enum Event {
     KdsDegradedExit,
     /// The fault-injection env fired an injected fault.
     FaultInjected { op: &'static str, file_kind: &'static str, torn: bool },
+    /// An HMAC tag failed to verify: the file was tampered with (or
+    /// damaged) in a way its checksum alone would not prove. `offset` is
+    /// the block offset for SSTs, the fragment counter for logs.
+    IntegrityViolation { file: u64, offset: u64 },
 }
 
 impl Event {
@@ -160,6 +164,7 @@ impl Event {
             Event::KdsDegradedEnter { .. } => "kds_degraded_enter",
             Event::KdsDegradedExit => "kds_degraded_exit",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::IntegrityViolation { .. } => "integrity_violation",
         }
     }
 
@@ -181,7 +186,9 @@ impl Event {
             | Event::KdsRetry { .. }
             | Event::KdsFailover { .. }
             | Event::FaultInjected { .. } => LogLevel::Warn,
-            Event::BackgroundError { .. } | Event::KdsDegradedEnter { .. } => LogLevel::Error,
+            Event::BackgroundError { .. }
+            | Event::KdsDegradedEnter { .. }
+            | Event::IntegrityViolation { .. } => LogLevel::Error,
         }
     }
 
@@ -249,6 +256,10 @@ impl Event {
                 ("op", Str((*op).to_string())),
                 ("file_kind", Str((*file_kind).to_string())),
                 ("torn", Str(torn.to_string())),
+            ],
+            Event::IntegrityViolation { file, offset } => vec![
+                ("file", U64(*file)),
+                ("offset", U64(*offset)),
             ],
         }
     }
@@ -556,6 +567,7 @@ mod tests {
             Event::KdsDegradedEnter { message: "kds down".into() },
             Event::KdsDegradedExit,
             Event::FaultInjected { op: "read", file_kind: "SST", torn: false },
+            Event::IntegrityViolation { file: 7, offset: 4096 },
         ];
         let mut names = std::collections::HashSet::new();
         for e in &events {

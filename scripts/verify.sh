@@ -25,6 +25,14 @@
 #           storage (8-thread hot-key misses must coalesce, readahead
 #           must prefetch) in all three encryption modes
 #           (see DESIGN.md §4g).
+#   tier 7: adversarial — authenticated-integrity gate: the tamper
+#           matrix (bit-flips, CRC-repatch forgeries, block swaps,
+#           cross-file splices, WAL forgery/replay, truncation, the
+#           rollback negative control, across plain/EncFS/SHIELD ×
+#           crc/hmac), the hostile-input fuzzers over every persisted-
+#           bytes parser, and the integrity bench's engagement check
+#           (HMAC runs verify every block, clean data verifies clean)
+#           (see DESIGN.md §4h).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
@@ -32,8 +40,9 @@
 #           iterator-shaped, and clippy -D warnings over the
 #           observability crate shield-core so the zero-dep types stay
 #           clean, and clippy -D warnings over shield-lsm so the
-#           rewritten cache/fetcher read path stays clean (all skipped
-#           if clippy is unavailable).
+#           rewritten cache/fetcher read path stays clean, and clippy
+#           -D warnings over shield-crypto so the HMAC/KDF kernels stay
+#           clean (all skipped if clippy is unavailable).
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick skips the release build and the tiers that need it
@@ -63,9 +72,9 @@ fi
 echo "ok"
 
 if [[ $quick -eq 0 ]]; then
-    echo "== lint: clippy needless_range_loop gate (crates/crypto) =="
+    echo "== lint: clippy gate (shield-crypto kernels) =="
     if cargo clippy --version >/dev/null 2>&1; then
-        cargo clippy --release -q -p shield-crypto -- -D clippy::needless_range_loop
+        cargo clippy --release -q -p shield-crypto -- -D warnings
         echo "ok"
     else
         echo "skipped (cargo clippy unavailable)"
@@ -131,6 +140,14 @@ echo "== tier 6: read-path (unified fetcher + cache model + readahead) =="
 cargo test -q --test read_path
 if [[ $quick -eq 0 ]]; then
     cargo run --release -q -p shield-bench --bin readpath -- --smoke --out /tmp/BENCH_readpath_smoke.json
+fi
+echo "ok"
+
+echo "== tier 7: adversarial (tamper matrix + hostile-input fuzz + integrity bench) =="
+cargo test -q --test tamper
+cargo test -q --test hostile_inputs
+if [[ $quick -eq 0 ]]; then
+    cargo run --release -q -p shield-bench --bin integrity -- --smoke --out /tmp/BENCH_integrity_smoke.json
 fi
 echo "ok"
 

@@ -314,3 +314,64 @@ fn shield_crash_loop_with_write_faults_converges() {
         db.verify_integrity().expect("post-torture integrity");
     });
 }
+
+/// A compaction whose *input* SST has been tampered with (under
+/// authenticated-integrity mode) must park `IntegrityViolation` as the
+/// background error — and, unlike the transient storage faults above,
+/// [`Db::resume`] must refuse to clear it: forged data is not a condition
+/// that clears by retrying.
+#[test]
+fn tampered_sst_during_compaction_is_unrecoverable() {
+    let env = MemEnv::new();
+    let hmac_opts = |trigger: usize| {
+        let mut o = Options::new(Arc::new(env.clone()))
+            .with_integrity(shield_lsm::Integrity::Hmac)
+            .with_integrity_key([0x42; 32])
+            .with_write_buffer_size(1 << 20);
+        o.compaction.l0_compaction_trigger = trigger;
+        o
+    };
+    // Phase 1 (high trigger, no background compaction): two overlapping
+    // L0 files, so the eventual compaction must merge — a trivial move
+    // would never read the tampered input.
+    {
+        let db = open_plain(hmac_opts(100), "db").unwrap();
+        let w = WriteOptions::default();
+        for round in 0..2 {
+            for i in 0..500u32 {
+                db.put(&w, &key(round, i), b"fault-injection-payload").unwrap();
+            }
+            db.put(&w, b"overlap", &[round as u8]).unwrap();
+            db.flush().unwrap();
+        }
+    }
+    let mut ssts: Vec<String> = env
+        .list_dir("db")
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".sst"))
+        .collect();
+    ssts.sort();
+    let path = format!("db/{}", ssts[0]);
+    let mut raw = env.raw_content(&path).unwrap();
+    raw[10] ^= 0x01; // inside data block 0 of a plaintext SST
+    env.set_raw_content(&path, raw).unwrap();
+
+    // Phase 2: reopen with a low trigger; the L0→L1 merge now reads the
+    // forged input.
+    let db = open_plain(hmac_opts(2), "db").unwrap();
+    assert!(db.compact_all().is_err(), "merge over forged input must fail");
+    let bg = db.background_error().expect("violation parks as background error");
+    assert!(
+        matches!(bg, Error::IntegrityViolation(_)),
+        "classified as a violation, not corruption: {bg}"
+    );
+    let resumed = db.resume();
+    assert!(
+        matches!(resumed, Err(Error::IntegrityViolation(_))),
+        "resume must refuse to clear an integrity violation"
+    );
+    assert!(db.background_error().is_some(), "the error stays parked");
+    let snap = db.statistics().snapshot();
+    assert!(snap.integrity_failures >= 1, "failure ticker must bump");
+}

@@ -57,7 +57,7 @@ fn first_data_handle(file: &Arc<dyn RandomAccessFile>) -> BlockHandle {
     let len = file.len().unwrap();
     let footer =
         Footer::decode(&file.read_at(len - FOOTER_LEN as u64, FOOTER_LEN).unwrap()).unwrap();
-    let index = Arc::new(Block::from_raw(read_verified(file.as_ref(), footer.index).unwrap()));
+    let index = Arc::new(Block::from_raw(read_verified(file.as_ref(), footer.index, None).unwrap()));
     let mut it = index.iter();
     it.seek_to_first();
     BlockHandle::decode_varint(it.value()).unwrap()
@@ -237,7 +237,7 @@ fn spawn_miss_group(
             std::thread::spawn(move || {
                 barrier.wait();
                 fetcher
-                    .fetch(&file, 1, handle, BlockKind::Data, true)
+                    .fetch(&file, 1, handle, BlockKind::Data, true, None)
                     .map(|b| b.block().raw_bytes().clone())
             })
         })
@@ -317,7 +317,7 @@ fn single_flight_shares_one_injected_error() {
     );
     assert!(!cache.contains(&(1, handle.offset)), "failed read must not be cached");
     // The flight retired with its error; a fresh fetch retries and works.
-    let retry = fetcher.fetch(&gated, 1, handle, BlockKind::Data, true);
+    let retry = fetcher.fetch(&gated, 1, handle, BlockKind::Data, true, None);
     assert!(retry.is_ok(), "retry after transient fault failed: {:?}", retry.err());
     assert!(cache.contains(&(1, handle.offset)));
 }
@@ -337,7 +337,7 @@ fn readahead_scan_yields_identical_entries() {
     let plain = Arc::new(Table::open(file.clone(), 1, None).unwrap());
     let cache = BlockCache::new(1 << 20);
     let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
-    let ahead = Arc::new(Table::open_with_fetcher(file, 1, fetcher, None).unwrap());
+    let ahead = Arc::new(Table::open_with_fetcher(file, 1, fetcher, None, Default::default()).unwrap());
 
     let collect = |t: &Arc<Table>| {
         let mut out = Vec::new();
