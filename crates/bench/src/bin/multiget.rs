@@ -1,26 +1,30 @@
-//! Read-path benchmark over disaggregated storage: readrandom, 8-thread
-//! hot-key single-flight coalescing, and sequential scans with and
-//! without readahead, in three encryption modes (plain, EncFS, SHIELD).
+//! Batched-read benchmark over disaggregated storage: `Db::multi_get`
+//! of 64 cold keys vs 64 serial `get`s, plus the sequential-scan
+//! readahead point re-measured over the *concurrent* `RemoteEnv`, in
+//! three encryption modes (plain, EncFS, SHIELD).
 //!
 //! The setup mirrors the paper's DS read experiments (§6.2): SSTs live
-//! behind a [`RemoteEnv`] charging a round trip per storage operation, so
-//! every cache miss costs ~an RTT. That makes the two new read-path
-//! behaviors directly measurable:
+//! behind a [`RemoteEnv`] with 500 µs RTT over a 1 Gbps link (PR 7's
+//! honest model: RTTs of concurrent requests overlap, bandwidth is
+//! FIFO-shared, and a `read_at_many` batch pays one RTT). That makes the
+//! two batched-read behaviors directly measurable:
 //!
-//! - **Single-flight.** Eight threads issuing `get`s for the same cold
-//!   key miss the same `(table, offset)`; the fetcher must coalesce them
-//!   into one remote read. The dedup ratio (cache misses per underlying
-//!   read) must exceed 1.
-//! - **Readahead.** A cold sequential scan with `readahead_blocks = 8`
-//!   overlaps prefetch round trips with iteration and must beat the
-//!   serial no-readahead scan. The full run gates on a ≥ 2x speedup;
-//!   `--smoke` (the verify tier) only asserts both mechanisms *engage* —
-//!   CI timing noise is no place for a perf gate. The committed full-mode
-//!   `BENCH_readpath.json` is the perf record.
+//! - **multi_get.** 64 serial cold gets pay ~64 RTTs; `multi_get`
+//!   partitions the batch per file and issues one bounded-depth
+//!   `read_at_many` per file, paying ~one RTT per submission window.
+//!   The full run gates on a ≥ 4x speedup in SHIELD mode.
+//! - **Readahead over the concurrent env.** Scan prefetch RTTs now
+//!   overlap instead of queueing on one serialized pipe, so the
+//!   seq-scan speedup must clear 2x (it was capped at ~1.3x before).
+//!
+//! `--smoke` (the verify tier) only asserts both mechanisms *engage* —
+//! nonzero `batched_reads` and `readahead_issued` — CI timing noise is
+//! no place for a perf gate. The committed full-mode
+//! `BENCH_multiget.json` is the perf record.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use shield::{open_encfs, open_plain, open_shield, EncFsDb, ShieldDb, ShieldOptions};
@@ -30,7 +34,7 @@ use shield_env::{Env, MemEnv, NetworkModel, RemoteEnv};
 use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
 use shield_lsm::{Db, Options, ReadOptions, StatsSnapshot, WriteOptions};
 
-const MISS_THREADS: usize = 8;
+const BATCH: usize = 64;
 const READAHEAD_BLOCKS: usize = 16;
 
 struct Config {
@@ -39,7 +43,7 @@ struct Config {
 }
 
 fn parse_args() -> Result<Config, String> {
-    let mut cfg = Config { smoke: false, out: "BENCH_readpath.json".to_string() };
+    let mut cfg = Config { smoke: false, out: "BENCH_multiget.json".to_string() };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,7 +52,7 @@ fn parse_args() -> Result<Config, String> {
                 cfg.out = args.next().ok_or_else(|| "--out needs a path".to_string())?;
             }
             "--help" | "-h" => {
-                return Err("usage: readpath [--smoke] [--out BENCH_readpath.json]".to_string())
+                return Err("usage: multiget [--smoke] [--out BENCH_multiget.json]".to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -64,7 +68,6 @@ fn network(smoke: bool) -> NetworkModel {
     }
 }
 
-/// Which encryption sits under the read path.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Plain,
@@ -101,8 +104,7 @@ impl Handle {
 }
 
 /// One mode's persistent state: the remote env holding its SSTs plus the
-/// key material that must survive reopens (the EncFS instance DEK, the
-/// SHIELD KDS).
+/// key material that must survive reopens.
 struct ModeCtx {
     mode: Mode,
     env: Arc<dyn Env>,
@@ -149,18 +151,15 @@ impl ModeCtx {
     }
 }
 
-struct ReadRandomReport {
-    ops: u64,
-    secs: f64,
-    hits: u64,
-    misses: u64,
-}
-
-struct SingleFlightReport {
-    hot_keys: u64,
-    waits: u64,
-    misses: u64,
-    dedup_ratio: f64,
+struct MultiGetReport {
+    batch: usize,
+    rounds: u64,
+    serial_secs: f64,
+    batched_secs: f64,
+    speedup: f64,
+    batched_reads: u64,
+    batch_read_requests: u64,
+    env_inflight_reads: u64,
 }
 
 struct ScanReport {
@@ -174,17 +173,12 @@ struct ScanReport {
 
 struct ModeReport {
     mode: Mode,
-    readrandom: ReadRandomReport,
-    single_flight: SingleFlightReport,
+    multi_get: MultiGetReport,
     scan: ScanReport,
 }
 
 fn key_bytes(i: u64) -> Vec<u8> {
     format!("k{i:08}").into_bytes()
-}
-
-fn cache_snapshot(db: &Db) -> StatsSnapshot {
-    db.statistics().snapshot()
 }
 
 /// Sequentially fills `keys` entries and compacts them into read-only SSTs.
@@ -202,52 +196,52 @@ fn fill(ctx: &ModeCtx, keys: u64) {
     db.compact_all().expect("compact");
 }
 
-/// Uniform random gets over the full key space, cold cache at the start.
-fn run_readrandom(ctx: &ModeCtx, keys: u64, ops: u64) -> ReadRandomReport {
-    let handle = ctx.open(0);
-    let db = handle.db();
-    let ropts = ReadOptions::default();
-    let mut rng = Rng::new(0x0eadca11);
-    let start = Instant::now();
-    for _ in 0..ops {
-        let k = rng.next_below(keys);
-        let got = db.get(&ropts, &key_bytes(k)).expect("get");
-        assert!(got.is_some(), "fill lost key {k}");
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let s = cache_snapshot(db);
-    ReadRandomReport { ops, secs, hits: s.block_cache_hits, misses: s.block_cache_misses }
-}
+/// `rounds` distinct batches of `BATCH` cold keys each. Every round
+/// reopens the database (cold block cache) twice — once for the serial
+/// baseline, once for the batched run — over the same key set.
+fn run_multi_get(ctx: &ModeCtx, keys: u64, rounds: u64) -> MultiGetReport {
+    let mut serial_secs = 0.0;
+    let mut batched_secs = 0.0;
+    let mut final_stats: Option<StatsSnapshot> = None;
+    for round in 0..rounds {
+        // Stride the round's keys across the whole space so every key
+        // lands in a different (cold) block where possible.
+        let stride = keys / BATCH as u64;
+        let batch: Vec<Vec<u8>> = (0..BATCH as u64)
+            .map(|i| key_bytes((i * stride + round * (stride / rounds.max(1)).max(1)) % keys))
+            .collect();
+        let refs: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
 
-/// For each of `hot_keys` cold keys, eight threads `get` it at the same
-/// instant. Under an RTT-dominated env the seven late misses must join
-/// the leader's in-flight read instead of issuing their own.
-fn run_single_flight(ctx: &ModeCtx, keys: u64, hot_keys: u64) -> SingleFlightReport {
-    let handle = ctx.open(0);
-    let db = handle.db();
-    let stride = keys / hot_keys;
-    for h in 0..hot_keys {
-        let key = key_bytes(h * stride);
-        let barrier = Barrier::new(MISS_THREADS);
-        std::thread::scope(|scope| {
-            for _ in 0..MISS_THREADS {
-                scope.spawn(|| {
-                    barrier.wait();
-                    let got = db.get(&ReadOptions::default(), &key).expect("get");
-                    assert!(got.is_some(), "hot key vanished");
-                });
-            }
-        });
+        let handle = ctx.open(0);
+        let db = handle.db();
+        let ropts = ReadOptions::default();
+        let start = Instant::now();
+        for key in &refs {
+            let got = db.get(&ropts, key).expect("serial get");
+            assert!(got.is_some(), "fill lost a key");
+        }
+        serial_secs += start.elapsed().as_secs_f64();
+
+        let handle = ctx.open(0);
+        let db = handle.db();
+        let start = Instant::now();
+        let results = db.multi_get(&ropts, &refs);
+        batched_secs += start.elapsed().as_secs_f64();
+        for r in results {
+            assert!(r.expect("batched get").is_some(), "multi_get lost a key");
+        }
+        final_stats = Some(db.statistics().snapshot());
     }
-    let s = cache_snapshot(db);
-    let misses = s.block_cache_misses;
-    let waits = s.block_cache_singleflight_waits;
-    let underlying = misses.saturating_sub(waits).max(1);
-    SingleFlightReport {
-        hot_keys,
-        waits,
-        misses,
-        dedup_ratio: misses as f64 / underlying as f64,
+    let s = final_stats.expect("at least one round");
+    MultiGetReport {
+        batch: BATCH,
+        rounds,
+        serial_secs,
+        batched_secs,
+        speedup: serial_secs / batched_secs.max(1e-9),
+        batched_reads: s.batched_reads,
+        batch_read_requests: s.batch_read_requests,
+        env_inflight_reads: s.env_inflight_reads,
     }
 }
 
@@ -265,7 +259,7 @@ fn scan_once(ctx: &ModeCtx, readahead_blocks: usize) -> (u64, f64, StatsSnapshot
     }
     it.status().expect("scan status");
     let secs = start.elapsed().as_secs_f64();
-    let s = cache_snapshot(db);
+    let s = db.statistics().snapshot();
     (entries, secs, s)
 }
 
@@ -286,27 +280,23 @@ fn run_scans(ctx: &ModeCtx, keys: u64) -> ScanReport {
 
 fn run_mode(mode: Mode, smoke: bool) -> ModeReport {
     let keys: u64 = if smoke { 2_000 } else { 10_000 };
-    let readrandom_ops: u64 = if smoke { 1_000 } else { 5_000 };
-    let hot_keys: u64 = 32;
-
+    let rounds: u64 = if smoke { 1 } else { 4 };
     let ctx = ModeCtx::new(mode, smoke);
     fill(&ctx, keys);
-    let readrandom = run_readrandom(&ctx, keys, readrandom_ops);
-    let single_flight = run_single_flight(&ctx, keys, hot_keys);
+    let multi_get = run_multi_get(&ctx, keys, rounds);
     let scan = run_scans(&ctx, keys);
-    ModeReport { mode, readrandom, single_flight, scan }
+    ModeReport { mode, multi_get, scan }
 }
 
 fn report_json(mode: &str, model: &NetworkModel, reports: &[ModeReport]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"readpath\",");
+    let _ = writeln!(s, "  \"bench\": \"multiget\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(
         s,
-        "  \"workload\": \"readrandom + hot-key miss storm + seq scan, remote storage\","
+        "  \"workload\": \"multi_get({BATCH}) vs {BATCH} serial cold gets + seq scan, remote storage\","
     );
-    let _ = writeln!(s, "  \"miss_threads\": {MISS_THREADS},");
     let _ = writeln!(s, "  \"readahead_blocks\": {READAHEAD_BLOCKS},");
     let _ = writeln!(s, "  \"network\": {{");
     let _ = writeln!(s, "    \"rtt_us\": {},", model.rtt.as_micros());
@@ -320,20 +310,16 @@ fn report_json(mode: &str, model: &NetworkModel, reports: &[ModeReport]) -> Stri
     s.push_str("  \"systems\": {\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = writeln!(s, "    \"{}\": {{", r.mode.label());
-        let rr = &r.readrandom;
-        let _ = writeln!(s, "      \"readrandom\": {{");
-        let _ = writeln!(s, "        \"ops\": {},", rr.ops);
-        let _ = writeln!(s, "        \"secs\": {:.3},", rr.secs);
-        let _ = writeln!(s, "        \"ops_per_sec\": {:.0},", rr.ops as f64 / rr.secs.max(1e-9));
-        let _ = writeln!(s, "        \"cache_hits\": {},", rr.hits);
-        let _ = writeln!(s, "        \"cache_misses\": {}", rr.misses);
-        let _ = writeln!(s, "      }},");
-        let sf = &r.single_flight;
-        let _ = writeln!(s, "      \"single_flight\": {{");
-        let _ = writeln!(s, "        \"hot_keys\": {},", sf.hot_keys);
-        let _ = writeln!(s, "        \"cache_misses\": {},", sf.misses);
-        let _ = writeln!(s, "        \"singleflight_waits\": {},", sf.waits);
-        let _ = writeln!(s, "        \"dedup_ratio\": {:.2}", sf.dedup_ratio);
+        let mg = &r.multi_get;
+        let _ = writeln!(s, "      \"multi_get\": {{");
+        let _ = writeln!(s, "        \"batch\": {},", mg.batch);
+        let _ = writeln!(s, "        \"rounds\": {},", mg.rounds);
+        let _ = writeln!(s, "        \"serial_secs\": {:.4},", mg.serial_secs);
+        let _ = writeln!(s, "        \"batched_secs\": {:.4},", mg.batched_secs);
+        let _ = writeln!(s, "        \"speedup\": {:.2},", mg.speedup);
+        let _ = writeln!(s, "        \"batched_reads\": {},", mg.batched_reads);
+        let _ = writeln!(s, "        \"batch_read_requests\": {},", mg.batch_read_requests);
+        let _ = writeln!(s, "        \"env_inflight_reads\": {}", mg.env_inflight_reads);
         let _ = writeln!(s, "      }},");
         let sc = &r.scan;
         let _ = writeln!(s, "      \"seq_scan\": {{");
@@ -361,23 +347,25 @@ fn main() -> ExitCode {
     };
     let mode = if cfg.smoke { "smoke" } else { "full" };
     let model = network(cfg.smoke);
-    println!("readpath bench ({mode} mode, rtt {} us over 1 Gbps pipe)", model.rtt.as_micros());
+    println!("multiget bench ({mode} mode, rtt {} us over 1 Gbps pipe)", model.rtt.as_micros());
 
     let reports: Vec<ModeReport> =
         Mode::ALL.into_iter().map(|m| run_mode(m, cfg.smoke)).collect();
     for r in &reports {
         println!(
-            "  {:>6}: readrandom {:>7.0} ops/s | single-flight dedup {:>5.2}x \
-             ({} waits / {} misses) | scan {:.3}s -> {:.3}s ({:.2}x, {} prefetches)",
+            "  {:>6}: multi_get({}) {:.4}s vs serial {:.4}s ({:.2}x, {} submissions / {} reads, \
+             inflight peak {}) | scan {:.3}s -> {:.3}s ({:.2}x)",
             r.mode.label(),
-            r.readrandom.ops as f64 / r.readrandom.secs.max(1e-9),
-            r.single_flight.dedup_ratio,
-            r.single_flight.waits,
-            r.single_flight.misses,
+            r.multi_get.batch,
+            r.multi_get.batched_secs,
+            r.multi_get.serial_secs,
+            r.multi_get.speedup,
+            r.multi_get.batched_reads,
+            r.multi_get.batch_read_requests,
+            r.multi_get.env_inflight_reads,
             r.scan.no_readahead_secs,
             r.scan.readahead_secs,
             r.scan.speedup,
-            r.scan.readahead_issued,
         );
     }
 
@@ -388,15 +376,19 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", cfg.out);
 
-    // Engagement gates (both modes): every system must coalesce concurrent
-    // misses and must actually issue prefetches.
+    // Engagement gates (both modes): the batched path must actually batch
+    // and the scan must actually prefetch.
     for r in &reports {
-        if r.single_flight.dedup_ratio <= 1.0 {
+        if r.multi_get.batched_reads == 0 {
+            eprintln!("FAIL: {} multi_get never hit the batched read path", r.mode.label());
+            return ExitCode::FAILURE;
+        }
+        if r.multi_get.batch_read_requests <= r.multi_get.batched_reads {
             eprintln!(
-                "FAIL: {} single-flight dedup ratio {:.2} <= 1 ({} waits)",
+                "FAIL: {} batches carried {} requests over {} submissions — no batching",
                 r.mode.label(),
-                r.single_flight.dedup_ratio,
-                r.single_flight.waits
+                r.multi_get.batch_read_requests,
+                r.multi_get.batched_reads
             );
             return ExitCode::FAILURE;
         }
@@ -405,15 +397,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    // Perf gate (full mode only): readahead must beat the serial scan by
-    // ≥ 2x over the 500 µs RTT env. The concurrent RemoteEnv (PR 7)
-    // overlaps prefetch round trips, so the old ~1.3x ceiling — set when
-    // the env serialized RTTs — no longer applies.
+    // Perf gates (full mode only): multi_get(64) must beat 64 serial cold
+    // gets by ≥ 4x in SHIELD mode, and the concurrent RemoteEnv must let
+    // seq-scan readahead pipeline past 2x (it was ~1.3x when the env
+    // serialized round trips).
     if !cfg.smoke {
         for r in &reports {
+            if r.mode == Mode::Shield && r.multi_get.speedup < 4.0 {
+                eprintln!(
+                    "FAIL: shield multi_get speedup {:.2}x < 4x",
+                    r.multi_get.speedup
+                );
+                return ExitCode::FAILURE;
+            }
             if r.scan.speedup < 2.0 {
                 eprintln!(
-                    "FAIL: {} readahead speedup {:.2}x < 2x",
+                    "FAIL: {} readahead speedup {:.2}x < 2x over the concurrent env",
                     r.mode.label(),
                     r.scan.speedup
                 );

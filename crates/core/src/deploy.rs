@@ -185,6 +185,7 @@ impl ReadOnlyInstance {
             None,
             128,
             0,
+            shield_lsm::sst::fetcher::DEFAULT_INFLIGHT_READS,
             integrity,
             None,
         );

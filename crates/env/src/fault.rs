@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use shield_core::{Event, EventListener};
 
 use crate::{
-    read_file_to_vec, Env, EnvError, EnvResult, FileKind, IoStats, RandomAccessFile,
+    read_file_to_vec, Env, EnvError, EnvResult, FileKind, IoStats, RandomAccessFile, ReadRequest,
     SequentialFile, WritableFile,
 };
 
@@ -494,6 +494,28 @@ impl RandomAccessFile for FaultReadable {
 
     fn len(&self) -> EnvResult<u64> {
         self.inner.len()
+    }
+
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // Fault rules are consulted once per request, not once per batch,
+        // so an armed `error_n_times(.., 1)` fails exactly one slot and
+        // the survivors still ride the inner batch path.
+        let mut out: Vec<EnvResult<Bytes>> = Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || Ok(Bytes::new()));
+        let mut pass: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut pass_reqs: Vec<ReadRequest> = Vec::with_capacity(requests.len());
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(err) = self.state.check(self.kind, FaultOp::Read) {
+                out[i] = Err(err);
+            } else {
+                pass.push(i);
+                pass_reqs.push(*r);
+            }
+        }
+        for (slot, result) in pass.into_iter().zip(self.inner.read_at_many(&pass_reqs)) {
+            out[slot] = result;
+        }
+        out
     }
 }
 

@@ -23,6 +23,7 @@ pub mod remote;
 pub mod stats;
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -133,6 +134,15 @@ pub trait WritableFile: Send {
     }
 }
 
+/// One read in a batch submitted through [`RandomAccessFile::read_at_many`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReadRequest {
+    /// Byte offset of the read.
+    pub offset: u64,
+    /// Number of bytes requested.
+    pub len: usize,
+}
+
 /// A file readable at arbitrary offsets (used for SST files).
 pub trait RandomAccessFile: Send + Sync {
     /// Reads up to `len` bytes starting at `offset`. Returns fewer bytes
@@ -143,6 +153,93 @@ pub trait RandomAccessFile: Send + Sync {
     /// True if the file is empty.
     fn is_empty(&self) -> EnvResult<bool> {
         Ok(self.len()? == 0)
+    }
+    /// Submits a batch of reads and returns one result per request, in
+    /// request order. A failed slot never poisons its neighbors.
+    ///
+    /// The default implementation issues the reads sequentially; envs
+    /// with a cheaper batch path (one lock acquisition, one network round
+    /// trip) override it.
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        requests.iter().map(|r| self.read_at(r.offset, r.len)).collect()
+    }
+}
+
+/// Reads currently in flight through [`ReadQueue`] submissions,
+/// process-wide.
+static INFLIGHT_READS: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`INFLIGHT_READS`] since process start.
+static INFLIGHT_READS_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Current number of batched reads in flight across all [`ReadQueue`]s.
+#[must_use]
+pub fn inflight_reads() -> u64 {
+    INFLIGHT_READS.load(Ordering::Relaxed)
+}
+
+/// High-water mark of concurrently in-flight batched reads since process
+/// start. This is the value mirrored into the `env_inflight_reads`
+/// gauge: the instantaneous count is almost always zero when a metrics
+/// snapshot is taken, the peak shows how deep the queue actually ran.
+#[must_use]
+pub fn inflight_reads_peak() -> u64 {
+    INFLIGHT_READS_PEAK.load(Ordering::Relaxed)
+}
+
+/// An io_uring-style submission queue over [`RandomAccessFile::read_at_many`]
+/// with a bounded in-flight depth.
+///
+/// Submitting a batch larger than `depth` splits it into windows of at
+/// most `depth` requests; each window is handed to the file's batch read
+/// as one submission, so no more than `depth` reads from this queue are
+/// ever in flight against a single file at once. The queue also maintains
+/// the process-wide in-flight gauge read by [`inflight_reads`] /
+/// [`inflight_reads_peak`].
+pub struct ReadQueue {
+    depth: usize,
+}
+
+impl ReadQueue {
+    /// Creates a queue with the given in-flight depth (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        ReadQueue { depth: depth.max(1) }
+    }
+
+    /// The bounded in-flight depth of this queue.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Submits `requests` against `file` in windows of at most `depth`,
+    /// returning one result per request in request order.
+    pub fn submit(
+        &self,
+        file: &dyn RandomAccessFile,
+        requests: &[ReadRequest],
+    ) -> Vec<EnvResult<Bytes>> {
+        let mut out = Vec::with_capacity(requests.len());
+        for window in requests.chunks(self.depth) {
+            out.extend(self.submit_window(file, window));
+        }
+        out
+    }
+
+    /// Submits a single window (at most `depth` requests) as one batch,
+    /// keeping the in-flight gauge accurate for its duration.
+    pub fn submit_window(
+        &self,
+        file: &dyn RandomAccessFile,
+        window: &[ReadRequest],
+    ) -> Vec<EnvResult<Bytes>> {
+        debug_assert!(window.len() <= self.depth, "window exceeds queue depth");
+        let n = window.len() as u64;
+        let inflight = INFLIGHT_READS.fetch_add(n, Ordering::Relaxed) + n;
+        INFLIGHT_READS_PEAK.fetch_max(inflight, Ordering::Relaxed);
+        let results = file.read_at_many(window);
+        INFLIGHT_READS.fetch_sub(n, Ordering::Relaxed);
+        results
     }
 }
 
@@ -265,5 +362,83 @@ mod tests {
         assert_eq!(EnvError::NotFound("x".into()).to_string(), "not found: x");
         let io: EnvError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(matches!(io, EnvError::NotFound(_)));
+    }
+
+    /// A file whose batch path is left at the trait default; remembers
+    /// how deep each `read_at_many` submission was.
+    struct CountingFile {
+        data: Vec<u8>,
+        batch_sizes: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl RandomAccessFile for CountingFile {
+        fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+            let start = (offset as usize).min(self.data.len());
+            let end = (start + len).min(self.data.len());
+            Ok(Bytes::copy_from_slice(&self.data[start..end]))
+        }
+
+        fn len(&self) -> EnvResult<u64> {
+            Ok(self.data.len() as u64)
+        }
+
+        fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+            self.batch_sizes.lock().unwrap().push(requests.len());
+            requests.iter().map(|r| self.read_at(r.offset, r.len)).collect()
+        }
+    }
+
+    #[test]
+    fn default_read_at_many_matches_sequential_reads() {
+        struct Plain(Vec<u8>);
+        impl RandomAccessFile for Plain {
+            fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+                let start = (offset as usize).min(self.0.len());
+                let end = (start + len).min(self.0.len());
+                Ok(Bytes::copy_from_slice(&self.0[start..end]))
+            }
+            fn len(&self) -> EnvResult<u64> {
+                Ok(self.0.len() as u64)
+            }
+        }
+        let f = Plain((0u8..200).collect());
+        let reqs =
+            [ReadRequest { offset: 0, len: 4 }, ReadRequest { offset: 10, len: 3 }, ReadRequest {
+                offset: 198,
+                len: 10,
+            }];
+        let batch = f.read_at_many(&reqs);
+        assert_eq!(batch.len(), 3);
+        for (r, req) in batch.iter().zip(reqs.iter()) {
+            assert_eq!(r.as_ref().unwrap(), &f.read_at(req.offset, req.len).unwrap());
+        }
+        // Short read at EOF, not an error.
+        assert_eq!(batch[2].as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn read_queue_windows_by_depth_and_tracks_inflight_peak() {
+        let f = CountingFile {
+            data: (0u8..255).collect(),
+            batch_sizes: std::sync::Mutex::new(Vec::new()),
+        };
+        let queue = ReadQueue::new(4);
+        assert_eq!(queue.depth(), 4);
+        let reqs: Vec<ReadRequest> =
+            (0..10).map(|i| ReadRequest { offset: i * 8, len: 8 }).collect();
+        let out = queue.submit(&f, &reqs);
+        assert_eq!(out.len(), 10);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().as_ref(), &f.data[i * 8..i * 8 + 8]);
+        }
+        // 10 requests at depth 4 → windows of 4, 4, 2.
+        assert_eq!(*f.batch_sizes.lock().unwrap(), vec![4, 4, 2]);
+        assert!(inflight_reads_peak() >= 4, "peak gauge must see the full window depth");
+        assert_eq!(inflight_reads(), 0, "gauge must drain after submission");
+    }
+
+    #[test]
+    fn read_queue_depth_clamped_to_one() {
+        assert_eq!(ReadQueue::new(0).depth(), 1);
     }
 }

@@ -16,7 +16,8 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use crate::{
-    Env, EnvError, EnvResult, FileKind, IoStats, RandomAccessFile, SequentialFile, WritableFile,
+    Env, EnvError, EnvResult, FileKind, IoStats, RandomAccessFile, ReadRequest, SequentialFile,
+    WritableFile,
 };
 
 #[derive(Default)]
@@ -159,6 +160,24 @@ impl RandomAccessFile for MemReadable {
 
     fn len(&self) -> EnvResult<u64> {
         Ok(self.file.read().os_content.len() as u64)
+    }
+
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // One lock acquisition and one I/O op per request kind of copy:
+        // the batch is served against a single consistent view of the file.
+        let t = shield_core::perf::timer();
+        let f = self.file.read();
+        let out = requests
+            .iter()
+            .map(|r| {
+                let start = (r.offset as usize).min(f.os_content.len());
+                let end = (start + r.len).min(f.os_content.len());
+                self.stats.record_read(self.kind, (end - start) as u64);
+                Ok(Bytes::copy_from_slice(&f.os_content[start..end]))
+            })
+            .collect();
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::BlockRead, t);
+        out
     }
 }
 

@@ -10,7 +10,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::{
-    Env, EnvResult, FileKind, IoStats, RandomAccessFile, SequentialFile, WritableFile,
+    Env, EnvResult, FileKind, IoStats, RandomAccessFile, ReadRequest, SequentialFile,
+    WritableFile,
 };
 
 /// Local filesystem environment. Paths are interpreted as OS paths.
@@ -112,6 +113,41 @@ impl RandomAccessFile for PosixReadable {
 
     fn len(&self) -> EnvResult<u64> {
         Ok(self.len)
+    }
+
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // One lock acquisition for the whole batch, served in ascending
+        // offset order so a spinning disk seeks monotonically; results
+        // are returned in request order regardless.
+        let t = shield_core::perf::timer();
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].offset);
+        let mut out: Vec<EnvResult<Bytes>> = Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || Ok(Bytes::new()));
+        {
+            let mut f = self.file.lock();
+            for i in order {
+                let r = requests[i];
+                out[i] = (|| {
+                    let mut buf = vec![0u8; r.len];
+                    f.seek(SeekFrom::Start(r.offset))?;
+                    let mut read = 0usize;
+                    while read < r.len {
+                        match f.read(&mut buf[read..]) {
+                            Ok(0) => break,
+                            Ok(k) => read += k,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    buf.truncate(read);
+                    self.stats.record_read(self.kind, read as u64);
+                    Ok(Bytes::from(buf))
+                })();
+            }
+        }
+        shield_core::perf::add_elapsed(shield_core::PerfMetric::BlockRead, t);
+        out
     }
 }
 

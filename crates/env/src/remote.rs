@@ -3,9 +3,21 @@
 //! The paper's DS setup puts SST files (and, with offloaded compaction, the
 //! compaction I/O itself) on a storage server reached over a 1 Gbps switch
 //! (§6.1). [`RemoteEnv`] reproduces the two first-order effects of that
-//! link: a per-operation round-trip latency and a shared bandwidth pipe
-//! that serializes concurrent transfers. Both knobs are runtime-adjustable
-//! so the sensitivity sweeps (Fig. 16, 18) can vary them mid-experiment.
+//! link: a per-operation round-trip latency and a shared bandwidth pipe.
+//! The model is honest about concurrency, the way a real network is:
+//!
+//! * **RTTs overlap.** N requests in flight from N threads each complete
+//!   after one round trip, not after N stacked round trips — propagation
+//!   delay is per-request, not a shared resource.
+//! * **Bandwidth is shared.** Payload bytes still contend for the one
+//!   link: transmissions are granted FIFO slots on the pipe, so a
+//!   request's completion is `max(now + rtt, end of its transmission)`.
+//! * **Batches pay one RTT.** [`RandomAccessFile::read_at_many`] rides a
+//!   single request/response exchange: one round trip for the whole
+//!   submission plus the shared transfer time of the total payload.
+//!
+//! Both knobs are runtime-adjustable so the sensitivity sweeps
+//! (Fig. 16, 18) can vary them mid-experiment.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,7 +26,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::{
-    Env, EnvResult, FileKind, IoStats, RandomAccessFile, SequentialFile, WritableFile,
+    Env, EnvResult, FileKind, IoStats, RandomAccessFile, ReadRequest, SequentialFile,
+    WritableFile,
 };
 
 /// Parameters of the simulated network between compute and storage.
@@ -56,7 +69,7 @@ impl NetworkModel {
 
 struct Pipe {
     model: NetworkModel,
-    /// The instant at which the shared link becomes free again.
+    /// The instant at which the shared link's transmit path is free again.
     next_free: Instant,
 }
 
@@ -71,21 +84,28 @@ impl Link {
         Link { pipe: Arc::new(Mutex::new(Pipe { model, next_free: Instant::now() })) }
     }
 
-    /// Charges one round trip plus the serialized transfer time for
-    /// `bytes` on the shared pipe, sleeping until the transfer completes.
+    /// Charges one round trip plus the FIFO-shared transfer time for
+    /// `bytes`, sleeping until the request completes.
+    ///
+    /// The round trip is *this request's own* propagation delay: requests
+    /// issued concurrently from other threads overlap their RTTs instead
+    /// of queuing behind each other. Only the payload transmission holds
+    /// the shared pipe, so completion is `max(now + rtt, tx_end)` where
+    /// `tx_end` is the end of this request's FIFO transmission slot.
     fn transfer(&self, bytes: u64) {
         let wake = {
             let mut pipe = self.pipe.lock();
             let now = Instant::now();
-            let start = pipe.next_free.max(now) + pipe.model.rtt;
             let duration = match pipe.model.bandwidth_bytes_per_sec {
                 Some(bw) if bw > 0 => {
                     Duration::from_nanos((bytes.saturating_mul(1_000_000_000)) / bw)
                 }
                 _ => Duration::ZERO,
             };
-            pipe.next_free = start + duration;
-            pipe.next_free
+            let tx_start = pipe.next_free.max(now);
+            let tx_end = tx_start + duration;
+            pipe.next_free = tx_end;
+            (now + pipe.model.rtt).max(tx_end)
         };
         let now = Instant::now();
         if wake > now {
@@ -202,6 +222,20 @@ impl RandomAccessFile for RemoteReadable {
 
     fn len(&self) -> EnvResult<u64> {
         self.inner.len()
+    }
+
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // The whole batch rides one request/response exchange: a single
+        // round trip for the submission plus the shared transfer time of
+        // the total payload, instead of one RTT per block.
+        let results = self.inner.read_at_many(requests);
+        let mut total = 0u64;
+        for data in results.iter().flatten() {
+            total += data.len() as u64;
+            self.stats.record_read(self.kind, data.len() as u64);
+        }
+        self.link.transfer(total);
+        results
     }
 }
 
@@ -376,6 +410,107 @@ mod tests {
         let start = Instant::now();
         f.flush().unwrap();
         assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn concurrent_requests_overlap_rtts() {
+        // 8 threads each pay one 25 ms round trip; a serializing model
+        // would take ≥ 200 ms wall clock, an overlapping one ~25 ms.
+        let model = NetworkModel {
+            rtt: Duration::from_millis(25),
+            bandwidth_bytes_per_sec: None,
+            write_packet_bytes: 64 * 1024,
+        };
+        let remote = Arc::new(RemoteEnv::new(Arc::new(MemEnv::new()), model));
+        let start = Instant::now();
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                let remote = remote.clone();
+                std::thread::spawn(move || {
+                    remote.file_exists("x");
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(25), "rtt not charged: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(125),
+            "concurrent RTTs must overlap, not serialize: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_still_share_bandwidth() {
+        // Zero RTT, 1 MB/s: two concurrent 10 KB transfers must take
+        // ≥ 20 ms combined — payload bytes contend even when RTTs overlap.
+        let model = NetworkModel {
+            rtt: Duration::ZERO,
+            bandwidth_bytes_per_sec: Some(1_000_000),
+            write_packet_bytes: 1,
+        };
+        let remote = Arc::new(RemoteEnv::new(Arc::new(MemEnv::new()), model));
+        for name in ["a", "b"] {
+            let mut f = remote.new_writable_file(name, FileKind::Sst).unwrap();
+            f.append(&vec![0u8; 10_000]).unwrap();
+            f.sync().unwrap();
+        }
+        let start = Instant::now();
+        let joins: Vec<_> = ["a", "b"]
+            .into_iter()
+            .map(|name| {
+                let remote = remote.clone();
+                std::thread::spawn(move || {
+                    let r = remote.new_random_access_file(name, FileKind::Sst).unwrap();
+                    let _ = r.read_at(0, 10_000).unwrap();
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20), "bandwidth must be shared");
+    }
+
+    #[test]
+    fn batch_read_charges_one_rtt() {
+        let model = NetworkModel {
+            rtt: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: None,
+            write_packet_bytes: 64 * 1024,
+        };
+        let remote = RemoteEnv::new(Arc::new(MemEnv::new()), model);
+        let mut f = remote.new_writable_file("x", FileKind::Sst).unwrap();
+        f.append(&vec![7u8; 8 * 1024]).unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let r = remote.new_random_access_file("x", FileKind::Sst).unwrap();
+
+        let reqs: Vec<ReadRequest> =
+            (0..8).map(|i| ReadRequest { offset: i * 1024, len: 1024 }).collect();
+        let start = Instant::now();
+        let batch = r.read_at_many(&reqs);
+        let batch_elapsed = start.elapsed();
+        for b in &batch {
+            assert_eq!(b.as_ref().unwrap().len(), 1024);
+        }
+        assert!(batch_elapsed >= Duration::from_millis(10), "batch skipped the RTT");
+        assert!(
+            batch_elapsed < Duration::from_millis(40),
+            "a batch must pay one RTT, not eight: {batch_elapsed:?}"
+        );
+
+        let start = Instant::now();
+        for req in &reqs {
+            let _ = r.read_at(req.offset, req.len).unwrap();
+        }
+        let serial_elapsed = start.elapsed();
+        assert!(
+            serial_elapsed >= Duration::from_millis(80),
+            "eight serial reads pay eight RTTs: {serial_elapsed:?}"
+        );
     }
 
     #[test]

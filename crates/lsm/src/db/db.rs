@@ -168,6 +168,7 @@ impl Db {
             Some(stats.clone()),
             opts.max_open_files,
             opts.readahead_blocks,
+            opts.max_inflight_reads,
             integrity,
             Some(events.clone()),
         );
@@ -400,6 +401,74 @@ impl Db {
         }
     }
 
+    /// Batched point lookup: one result slot per key, each equivalent to
+    /// [`Db::get`] at the same snapshot. Memtables are probed per key
+    /// (they are in memory anyway); keys that miss are resolved against
+    /// the current version with per-file batched block reads, so a cold
+    /// batch pays one `read_at_many` submission per table instead of one
+    /// file read per key. Errors are per-slot: a fault on one key's block
+    /// never corrupts its neighbors.
+    pub fn multi_get(&self, ropts: &ReadOptions, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>>> {
+        let op_start = std::time::Instant::now();
+        let results = self.multi_get_impl(ropts, keys);
+        self.inner.op_hists.multi_get.record_elapsed(op_start);
+        for r in &results {
+            if let Err(e) = r {
+                self.park_if_unrecoverable(e);
+            }
+        }
+        results
+    }
+
+    fn multi_get_impl(&self, ropts: &ReadOptions, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>>> {
+        self.inner.stats.multi_gets.fetch_add(1, Ordering::Relaxed);
+        let seq = ropts
+            .snapshot_seq
+            .unwrap_or_else(|| self.inner.last_published.load(Ordering::Acquire));
+        let (mem, imms, version) = {
+            let state = self.inner.state.lock();
+            (state.mem.clone(), state.imm.clone(), state.versions.current())
+        };
+        let mut out: Vec<Option<Result<Option<Vec<u8>>>>> = vec![None; keys.len()];
+        let t = perf::timer();
+        for (i, key) in keys.iter().enumerate() {
+            let hit = match mem.get(key, seq) {
+                LookupResult::Found(v) => Some(Some(v)),
+                LookupResult::Deleted => Some(None),
+                LookupResult::NotFound => imms.iter().rev().find_map(|imm| match imm.get(key, seq)
+                {
+                    LookupResult::Found(v) => Some(Some(v)),
+                    LookupResult::Deleted => Some(None),
+                    LookupResult::NotFound => None,
+                }),
+            };
+            if let Some(hit) = hit {
+                if hit.is_some() {
+                    self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+                }
+                out[i] = Some(Ok(hit));
+            }
+        }
+        perf::add_elapsed(PerfMetric::MemtableLookup, t);
+        let unresolved: Vec<usize> = (0..keys.len()).filter(|&i| out[i].is_none()).collect();
+        if !unresolved.is_empty() {
+            let sub: Vec<&[u8]> = unresolved.iter().map(|&i| keys[i]).collect();
+            let results =
+                version.multi_get_opt(&self.inner.table_cache, &sub, seq, ropts.fill_cache);
+            for (&i, result) in unresolved.iter().zip(results) {
+                out[i] = Some(match result {
+                    Ok(GetResult::Found(v)) => {
+                        self.inner.stats.gets_found.fetch_add(1, Ordering::Relaxed);
+                        Ok(Some(v))
+                    }
+                    Ok(GetResult::Deleted | GetResult::NotFound) => Ok(None),
+                    Err(e) => Err(e),
+                });
+            }
+        }
+        out.into_iter().map(|slot| slot.expect("every key resolved")).collect()
+    }
+
     /// Creates a consistent point-in-time snapshot.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
@@ -527,7 +596,13 @@ impl Db {
             s.block_cache_pinned_bytes.store(c.pinned_bytes, Ordering::Relaxed);
             s.readahead_issued.store(c.readahead_issued, Ordering::Relaxed);
             s.readahead_useful.store(c.readahead_useful, Ordering::Relaxed);
+            s.batched_reads.store(c.batched_reads, Ordering::Relaxed);
+            s.batch_read_requests.store(c.batch_read_requests, Ordering::Relaxed);
         }
+        self.inner
+            .stats
+            .env_inflight_reads
+            .store(shield_env::inflight_reads_peak(), Ordering::Relaxed);
         self.inner.stats.clone()
     }
 

@@ -18,14 +18,15 @@ use crate::statistics::StatsSnapshot;
 pub const METRICS_SCHEMA: &str = "shield_metrics_v1";
 
 /// Operation types with an in-engine latency histogram.
-pub const OP_TYPES: [&str; 7] =
-    ["get", "put", "write_batch", "iter_next", "flush", "compaction", "subcompaction"];
+pub const OP_TYPES: [&str; 8] =
+    ["get", "multi_get", "put", "write_batch", "iter_next", "flush", "compaction", "subcompaction"];
 
 /// One [`AtomicHistogram`] per op type; lives in `DbInner` and is
 /// recorded by foreground ops and background jobs alike.
 #[derive(Default)]
 pub(crate) struct OpHistograms {
     pub get: AtomicHistogram,
+    pub multi_get: AtomicHistogram,
     pub put: AtomicHistogram,
     pub write_batch: AtomicHistogram,
     pub iter_next: AtomicHistogram,
@@ -39,6 +40,7 @@ impl OpHistograms {
     pub fn summaries(&self) -> Vec<(&'static str, HistogramSummary)> {
         vec![
             ("get", self.get.snapshot().summary()),
+            ("multi_get", self.multi_get.snapshot().summary()),
             ("put", self.put.snapshot().summary()),
             ("write_batch", self.write_batch.snapshot().summary()),
             ("iter_next", self.iter_next.snapshot().summary()),

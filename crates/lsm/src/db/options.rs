@@ -47,6 +47,10 @@ pub struct Options {
     /// Data blocks iterators prefetch ahead of the read position
     /// (0 disables readahead). Compaction inherits the same depth.
     pub readahead_blocks: usize,
+    /// Upper bound on concurrently in-flight block reads per batched
+    /// read submission ([`crate::Db::multi_get`], block prefetch) —
+    /// the depth of the env's `read_at_many` queue. Clamped to ≥ 1.
+    pub max_inflight_reads: usize,
     /// Max open table readers.
     pub max_open_files: usize,
     /// Compaction policy and thresholds.
@@ -114,6 +118,7 @@ impl Options {
             block_cache_strict_capacity: false,
             high_pri_pool_ratio: 0.1,
             readahead_blocks: 0,
+            max_inflight_reads: crate::sst::fetcher::DEFAULT_INFLIGHT_READS,
             max_open_files: 500,
             compaction: CompactionParams::default(),
             l0_slowdown_trigger: 8,
@@ -202,6 +207,14 @@ impl Options {
     #[must_use]
     pub fn with_readahead_blocks(mut self, blocks: usize) -> Self {
         self.readahead_blocks = blocks;
+        self
+    }
+
+    /// Bounds concurrently in-flight block reads per batched submission
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_inflight_reads(mut self, depth: usize) -> Self {
+        self.max_inflight_reads = depth.max(1);
         self
     }
 }

@@ -31,7 +31,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use shield_core::{perf, PerfCounter, PerfMetric};
 use shield_crypto::{Algorithm, CipherContext, Dek, DekId, NONCE_LEN};
-use shield_env::{Env, EnvResult, FileKind, RandomAccessFile, SequentialFile, WritableFile};
+use shield_env::{
+    Env, EnvResult, FileKind, RandomAccessFile, ReadRequest, SequentialFile, WritableFile,
+};
 use shield_kds::DekResolver;
 
 use crate::error::{Error, Result};
@@ -544,6 +546,27 @@ impl RandomAccessFile for EncryptedRandomAccessFile {
 
     fn len(&self) -> EnvResult<u64> {
         Ok(self.inner.len()?.saturating_sub(FILE_HEADER_LEN as u64))
+    }
+
+    fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // Pass the batch through so a remote env underneath charges one
+        // round trip for all of it; each slot then decrypts at its own
+        // logical offset (CTR keystreams are position-, not read-, based).
+        let shifted: Vec<ReadRequest> = requests
+            .iter()
+            .map(|r| ReadRequest { offset: r.offset + FILE_HEADER_LEN as u64, len: r.len })
+            .collect();
+        let raw = self.inner.read_at_many(&shifted);
+        raw.into_iter()
+            .zip(requests.iter())
+            .map(|(res, req)| {
+                let mut data = res?.to_vec();
+                let t = perf::timer();
+                self.ctx.decrypt_at(req.offset, &mut data);
+                perf::add_elapsed(PerfMetric::BlockDecrypt, t);
+                Ok(Bytes::from(data))
+            })
+            .collect()
     }
 }
 

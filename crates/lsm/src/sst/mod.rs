@@ -26,7 +26,7 @@ pub mod reader;
 
 pub use block::{Block, BlockBuilder, BlockIter};
 pub use builder::TableBuilder;
-pub use fetcher::{BlockFetcher, FetchedBlock};
+pub use fetcher::{BlockFetcher, BlockRequest, FetchedBlock};
 pub use filter::{BloomFilterBuilder, BloomFilterReader};
 pub use format::{BlockHandle, Footer, TableProperties, FOOTER_LEN, TABLE_MAGIC};
 pub use reader::{Table, TableIterator};

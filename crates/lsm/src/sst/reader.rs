@@ -21,6 +21,10 @@ use crate::sst::filter::BloomFilterReader;
 use crate::sst::format::{BlockHandle, Footer, TableProperties, FOOTER_LEN, FOOTER_V2_LEN};
 use crate::types::{extract_user_key, make_lookup_key, SequenceNumber};
 
+/// One resolved point lookup: the matching `(internal_key, value)` entry
+/// if the table holds one visible at the queried sequence.
+pub type LookupResult = Result<Option<(Vec<u8>, Vec<u8>)>>;
+
 /// An open, immutable table file.
 pub struct Table {
     file: Arc<dyn RandomAccessFile>,
@@ -215,6 +219,97 @@ impl Table {
             }
         }
         Ok(None)
+    }
+
+    /// Batched point lookup: one slot per key, each equivalent to
+    /// [`Table::get_opt`] at the same `seq`, but every data block the
+    /// batch needs is fetched through [`BlockFetcher::get_many`] — the
+    /// file sees one `read_at_many` submission per round instead of one
+    /// read per key. Errors are per-slot: a corrupt block fails only the
+    /// keys that needed it.
+    pub fn get_many_opt(
+        &self,
+        keys: &[&[u8]],
+        seq: SequenceNumber,
+        fill_cache: bool,
+    ) -> Vec<LookupResult> {
+        type Slot = Option<LookupResult>;
+        let mut out: Vec<Slot> = vec![None; keys.len()];
+        // (slot, lookup key, handle to read, is this the next-block retry)
+        let mut round: Vec<(usize, Vec<u8>, BlockHandle, bool)> = Vec::new();
+        for (i, user_key) in keys.iter().enumerate() {
+            if let Some((_, filter)) = &self.filter {
+                perf::incr(PerfCounter::BloomProbes, 1);
+                if !filter.may_contain(user_key) {
+                    if let Some(stats) = &self.stats {
+                        stats.bloom_useful.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    out[i] = Some(Ok(None));
+                    continue;
+                }
+            }
+            let lookup = make_lookup_key(user_key, seq);
+            let mut index_iter = self.index.block().iter();
+            index_iter.seek(&lookup);
+            if !index_iter.valid() {
+                out[i] = Some(Ok(None));
+                continue;
+            }
+            match BlockHandle::decode_varint(index_iter.value()) {
+                Ok(handle) => round.push((i, lookup, handle, false)),
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        // At most two rounds: the primary block per key, then (for keys
+        // that fall exactly between blocks) the next block. Each round is
+        // one deduplicated get_many over this file.
+        while !round.is_empty() {
+            let mut req_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+            let mut reqs: Vec<crate::sst::fetcher::BlockRequest> = Vec::new();
+            for &(_, _, handle, _) in &round {
+                req_of.entry(handle.offset).or_insert_with(|| {
+                    reqs.push(crate::sst::fetcher::BlockRequest { handle, kind: BlockKind::Data });
+                    reqs.len() - 1
+                });
+            }
+            let fetched =
+                self.fetcher.get_many(&self.file, self.table_id, &reqs, fill_cache, self.integrity.as_ref());
+            let mut next_round = Vec::new();
+            for (slot, lookup, handle, is_retry) in round {
+                let user_key = keys[slot];
+                match &fetched[req_of[&handle.offset]] {
+                    Err(e) => out[slot] = Some(Err(e.clone())),
+                    Ok(block) => {
+                        let mut it = block.block().iter();
+                        it.seek(&lookup);
+                        if it.valid() && extract_user_key(it.key()) == user_key {
+                            out[slot] = Some(Ok(Some((it.key().to_vec(), it.value().to_vec()))));
+                            continue;
+                        }
+                        if is_retry {
+                            out[slot] = Some(Ok(None));
+                            continue;
+                        }
+                        // The target may be the first key of the *next*
+                        // block when the lookup falls exactly between
+                        // blocks — same fallback as get_opt.
+                        let mut index_iter = self.index.block().iter();
+                        index_iter.seek(&lookup);
+                        index_iter.next();
+                        if !index_iter.valid() {
+                            out[slot] = Some(Ok(None));
+                            continue;
+                        }
+                        match BlockHandle::decode_varint(index_iter.value()) {
+                            Ok(next) => next_round.push((slot, lookup, next, true)),
+                            Err(e) => out[slot] = Some(Err(e)),
+                        }
+                    }
+                }
+            }
+            round = next_round;
+        }
+        out.into_iter().map(|slot| slot.expect("every key resolved")).collect()
     }
 
     /// True if the bloom filter rules out `user_key` (used by stats).
@@ -429,6 +524,29 @@ mod tests {
     }
 
     #[test]
+    fn get_many_matches_serial_gets() {
+        let env = MemEnv::new();
+        // Small blocks so the batch spans many blocks, including keys
+        // that fall exactly on block boundaries.
+        let t = build_table(&env, "t.sst", 500, 256);
+        let names: Vec<String> = (0..500)
+            .step_by(7)
+            .map(|i| format!("key{i:06}"))
+            .chain(["key999999".into(), "absent".into(), "key000000".into()])
+            .collect();
+        let keys: Vec<&[u8]> = names.iter().map(String::as_bytes).collect();
+        let batched = t.get_many_opt(&keys, 100, true);
+        assert_eq!(batched.len(), keys.len());
+        for (key, got) in keys.iter().zip(batched) {
+            let serial = t.get_opt(key, 100, true).unwrap();
+            assert_eq!(got.unwrap(), serial, "divergence on {:?}", String::from_utf8_lossy(key));
+        }
+        // Sequence visibility carries through the batched path.
+        let early = t.get_many_opt(&[b"key000001"], 5, true);
+        assert!(early[0].as_ref().unwrap().is_none());
+    }
+
+    #[test]
     fn get_respects_sequence_visibility() {
         let env = MemEnv::new();
         let t = build_table(&env, "t.sst", 10, 4096);
@@ -571,8 +689,19 @@ mod tests {
             let t = build_table(&env, "t.sst", 500, 256);
             drop(t);
         }
+        // `readahead_issued` counts prefetches that actually lead a read,
+        // so give the link a little latency: on an instant in-memory file
+        // the foreground scan can win every race and legitimately issue 0.
+        let remote = shield_env::RemoteEnv::new(
+            Arc::new(env),
+            shield_env::NetworkModel {
+                rtt: std::time::Duration::from_micros(200),
+                bandwidth_bytes_per_sec: None,
+                write_packet_bytes: 64 * 1024,
+            },
+        );
         let cache = BlockCache::new(1 << 20);
-        let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+        let file = remote.new_random_access_file("t.sst", FileKind::Sst).unwrap();
         let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
         let t = Arc::new(
             Table::open_with_fetcher(file, 7, fetcher, None, ReadIntegrity::default()).unwrap(),
@@ -586,6 +715,11 @@ mod tests {
         }
         assert_eq!(count, 500);
         it.status().unwrap();
+        // Workers may still be draining the queue; poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while cache.stats().readahead_issued == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
         assert!(cache.stats().readahead_issued > 0, "scan should issue prefetch");
     }
 

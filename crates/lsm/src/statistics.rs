@@ -127,6 +127,14 @@ tickers! {
         integrity_checks,
         /// HMAC tag mismatches — tampering detected.
         integrity_failures,
+        /// Multi-key lookups served through [`crate::Db::multi_get`].
+        multi_gets,
+        /// `read_at_many` batch submissions issued by the block fetcher
+        /// (each covers ≥ 1 block read), mirrored from the cache.
+        batched_reads,
+        /// Individual block reads carried by those batch submissions,
+        /// mirrored from the cache.
+        batch_read_requests,
     }
     gauges {
         /// Block-cache lifetime hits, mirrored from the cache when
@@ -173,6 +181,9 @@ tickers! {
         /// [`crate::integrity::Integrity::Hmac`] is on: readable but
         /// unverified until compaction rewrites them.
         integrity_unprotected_files,
+        /// High-water mark of concurrently in-flight batched reads,
+        /// mirrored from [`shield_env::inflight_reads_peak`].
+        env_inflight_reads,
     }
 }
 
@@ -227,6 +238,6 @@ mod tests {
         for (n, _) in &counters {
             assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");
         }
-        assert_eq!(counters.len() + gauges.len(), 41);
+        assert_eq!(counters.len() + gauges.len(), 45);
     }
 }

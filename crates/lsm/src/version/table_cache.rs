@@ -56,6 +56,7 @@ impl TableCache {
             None,
             capacity,
             0,
+            crate::sst::fetcher::DEFAULT_INFLIGHT_READS,
             IntegrityOptions::default(),
             None,
         )
@@ -63,8 +64,9 @@ impl TableCache {
 
     /// [`TableCache::new`] with an engine ticker sink handed to every
     /// opened [`Table`] (for `bloom_useful` accounting), a default
-    /// readahead depth for iterators over these tables, and the engine's
-    /// integrity settings plus the event sink violations report to.
+    /// readahead depth for iterators over these tables, the in-flight
+    /// depth for batched reads, and the engine's integrity settings plus
+    /// the event sink violations report to.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new_with_stats(
@@ -75,6 +77,7 @@ impl TableCache {
         stats: Option<Arc<crate::statistics::Statistics>>,
         capacity: usize,
         readahead_blocks: usize,
+        max_inflight_reads: usize,
         integrity: IntegrityOptions,
         events: Option<Arc<shield_core::EventDispatcher>>,
     ) -> Arc<Self> {
@@ -82,7 +85,7 @@ impl TableCache {
             env,
             db_path,
             encryption,
-            fetcher: BlockFetcher::new(block_cache, readahead_blocks),
+            fetcher: BlockFetcher::with_depth(block_cache, readahead_blocks, max_inflight_reads),
             stats,
             integrity,
             events,

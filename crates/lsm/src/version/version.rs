@@ -110,6 +110,142 @@ impl Version {
         Ok(GetResult::NotFound)
     }
 
+    /// Batched point lookup at sequence `seq`: one slot per key, each
+    /// equivalent to [`Version::get_opt`]. Keys are grouped by candidate
+    /// file (per L0 file newest-first, then per level), so each table
+    /// sees its whole sub-batch in one [`crate::sst::Table::get_many_opt`]
+    /// — one batched read submission per file instead of one read per
+    /// key. Errors are per-slot.
+    pub fn multi_get_opt(
+        &self,
+        table_cache: &TableCache,
+        keys: &[&[u8]],
+        seq: SequenceNumber,
+        fill_cache: bool,
+    ) -> Vec<Result<GetResult>> {
+        let mut out: Vec<Option<Result<GetResult>>> = Vec::new();
+        out.resize_with(keys.len(), || None);
+        self.warm_candidate_tables(table_cache, keys);
+        // L0: newest file first; files may overlap.
+        for meta in &self.files[0] {
+            self.multi_get_in_file(table_cache, meta, keys, seq, fill_cache, &mut out, |k| {
+                k >= meta.smallest_user_key() && k <= meta.largest_user_key()
+            });
+        }
+        // L1+: at most one candidate file per level and key.
+        for level in 1..self.files.len() {
+            let files = &self.files[level];
+            if files.is_empty() {
+                continue;
+            }
+            for (fidx, meta) in files.iter().enumerate() {
+                self.multi_get_in_file(table_cache, meta, keys, seq, fill_cache, &mut out, |k| {
+                    files.partition_point(|f| f.largest_user_key() < k) == fidx
+                        && k >= meta.smallest_user_key()
+                });
+            }
+        }
+        out.into_iter().map(|slot| slot.unwrap_or(Ok(GetResult::NotFound))).collect()
+    }
+
+    /// Opens every table a batch might touch, concurrently.
+    ///
+    /// A cold [`crate::sst::Table::open`] costs several storage round
+    /// trips (footer, index, bloom, properties — plus the DEK resolve in
+    /// SHIELD mode); opening a batch's candidate files one after another
+    /// would serialize those trips and dominate the whole batch on a
+    /// remote env. [`TableCache::get`] is concurrency-safe and
+    /// idempotent, so this is a pure warm-up: open errors are ignored
+    /// here — the resolution pass re-encounters them and attributes them
+    /// to the right slots. Candidacy is over-approximate on purpose (a
+    /// key that resolves at L0 still warms its L1+ candidates); those
+    /// tables stay in the cache for the next lookup.
+    fn warm_candidate_tables(&self, table_cache: &TableCache, keys: &[&[u8]]) {
+        const WARM_THREADS: usize = 8;
+        let mut candidates: Vec<u64> = Vec::new();
+        for meta in &self.files[0] {
+            if keys.iter().any(|&k| {
+                k >= meta.smallest_user_key() && k <= meta.largest_user_key()
+            }) {
+                candidates.push(meta.number);
+            }
+        }
+        for level in 1..self.files.len() {
+            let files = &self.files[level];
+            for (fidx, meta) in files.iter().enumerate() {
+                if keys.iter().any(|&k| {
+                    files.partition_point(|f| f.largest_user_key() < k) == fidx
+                        && k >= meta.smallest_user_key()
+                }) {
+                    candidates.push(meta.number);
+                }
+            }
+        }
+        if candidates.len() < 2 {
+            return; // nothing to overlap
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..candidates.len().min(WARM_THREADS) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&number) = candidates.get(i) else { break };
+                    let _ = table_cache.get(number);
+                });
+            }
+        });
+    }
+
+    /// Probes `meta` with every still-unresolved key matched by
+    /// `candidate`, resolving found/deleted/errored slots in `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn multi_get_in_file(
+        &self,
+        table_cache: &TableCache,
+        meta: &FileMeta,
+        keys: &[&[u8]],
+        seq: SequenceNumber,
+        fill_cache: bool,
+        out: &mut [Option<Result<GetResult>>],
+        candidate: impl Fn(&[u8]) -> bool,
+    ) {
+        let slots: Vec<usize> = (0..keys.len())
+            .filter(|&i| out[i].is_none() && candidate(keys[i]))
+            .collect();
+        if slots.is_empty() {
+            return;
+        }
+        let table = match table_cache.get(meta.number) {
+            Ok(t) => t,
+            Err(e) => {
+                for &i in &slots {
+                    out[i] = Some(Err(e.clone()));
+                }
+                return;
+            }
+        };
+        let sub: Vec<&[u8]> = slots.iter().map(|&i| keys[i]).collect();
+        for (&i, result) in slots.iter().zip(table.get_many_opt(&sub, seq, fill_cache)) {
+            match result {
+                Ok(None) => {} // not in this file; deeper sources may hold it
+                Ok(Some((ikey, value))) => {
+                    debug_assert_eq!(extract_user_key(&ikey), keys[i]);
+                    out[i] = Some(Self::classify_entry(&ikey, value));
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+    }
+
+    /// Maps a raw table entry to its visible [`GetResult`].
+    fn classify_entry(ikey: &[u8], value: Vec<u8>) -> Result<GetResult> {
+        match extract_seq_type(ikey).1 {
+            Some(ValueType::Value) => Ok(GetResult::Found(value)),
+            Some(ValueType::Deletion) => Ok(GetResult::Deleted),
+            None => Err(crate::error::Error::Corruption("bad value type in table entry".into())),
+        }
+    }
+
     fn get_in_file(
         &self,
         table_cache: &TableCache,
@@ -123,13 +259,7 @@ impl Version {
             None => Ok(None),
             Some((ikey, value)) => {
                 debug_assert_eq!(extract_user_key(&ikey), user_key);
-                match extract_seq_type(&ikey).1 {
-                    Some(ValueType::Value) => Ok(Some(GetResult::Found(value))),
-                    Some(ValueType::Deletion) => Ok(Some(GetResult::Deleted)),
-                    None => Err(crate::error::Error::Corruption(
-                        "bad value type in table entry".into(),
-                    )),
-                }
+                Self::classify_entry(&ikey, value).map(Some)
             }
         }
     }
@@ -373,6 +503,31 @@ mod tests {
         assert_eq!(v.get(&tc, b"m", 100).unwrap(), GetResult::Found(b"m@3".to_vec()));
         assert_eq!(v.get(&tc, b"z", 100).unwrap(), GetResult::Found(b"z@4".to_vec()));
         assert_eq!(v.get(&tc, b"q", 100).unwrap(), GetResult::NotFound);
+    }
+
+    #[test]
+    fn multi_get_matches_serial_gets_across_levels() {
+        let env = MemEnv::new();
+        let l0_new = build(&env, 5, &["b", "k"]);
+        let l0_old = build(&env, 4, &["b", "x"]);
+        let l1a = build(&env, 1, &["a", "c"]);
+        let l1b = build(&env, 2, &["m", "p"]);
+        let l2 = build(&env, 3, &["z"]);
+        let mut v = Version::new();
+        v.files[0] = vec![l0_new, l0_old]; // newest first
+        v.files[1] = vec![l1a, l1b];
+        v.files[2] = vec![l2];
+        let tc = cache(&env);
+        let keys: Vec<&[u8]> =
+            vec![b"a", b"b", b"c", b"k", b"m", b"p", b"q", b"x", b"z", b"zz"];
+        let batched = v.multi_get_opt(&tc, &keys, 100, true);
+        for (key, got) in keys.iter().zip(batched) {
+            let serial = v.get(&tc, key, 100).unwrap();
+            assert_eq!(got.unwrap(), serial, "divergence on {:?}", String::from_utf8_lossy(key));
+        }
+        // Spot-check shadowing: "b" must come from the newer L0 file.
+        let got = v.multi_get_opt(&tc, &[b"b"], 100, true);
+        assert_eq!(got[0].as_ref().unwrap(), &GetResult::Found(b"b@5".to_vec()));
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct PerfContext {
     pub cache_lookup_nanos: u64,
     /// Time merging one compaction subrange (read + merge + write).
     pub subcompaction_nanos: u64,
+    /// Time waiting on in-flight `read_at_many` batch submissions
+    /// (the `read_batch` span of the batched read path).
+    pub io_batch_wait_nanos: u64,
     /// Data/index/filter blocks read from files.
     pub blocks_read: u64,
     /// Bloom filter probes issued.
@@ -77,6 +80,7 @@ impl PerfContext {
         dek_resolve_nanos: 0,
         cache_lookup_nanos: 0,
         subcompaction_nanos: 0,
+        io_batch_wait_nanos: 0,
         blocks_read: 0,
         bloom_probes: 0,
         cipher_inits: 0,
@@ -95,6 +99,7 @@ impl PerfContext {
             + self.dek_resolve_nanos
             + self.cache_lookup_nanos
             + self.subcompaction_nanos
+            + self.io_batch_wait_nanos
     }
 
     pub fn is_zero(&self) -> bool {
@@ -102,7 +107,7 @@ impl PerfContext {
     }
 
     /// Field (name, value) pairs, for rendering. Times first, then counts.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("wal_append_nanos", self.wal_append_nanos),
             ("wal_sync_nanos", self.wal_sync_nanos),
@@ -114,6 +119,7 @@ impl PerfContext {
             ("dek_resolve_nanos", self.dek_resolve_nanos),
             ("cache_lookup_nanos", self.cache_lookup_nanos),
             ("subcompaction_nanos", self.subcompaction_nanos),
+            ("io_batch_wait_nanos", self.io_batch_wait_nanos),
             ("blocks_read", self.blocks_read),
             ("bloom_probes", self.bloom_probes),
             ("cipher_inits", self.cipher_inits),
@@ -135,6 +141,7 @@ pub enum PerfMetric {
     DekResolve,
     CacheLookup,
     Subcompaction,
+    IoBatchWait,
 }
 
 /// Counted events of [`PerfContext`].
@@ -196,6 +203,7 @@ pub fn add_nanos(metric: PerfMetric, ns: u64) {
             PerfMetric::DekResolve => &mut ctx.dek_resolve_nanos,
             PerfMetric::CacheLookup => &mut ctx.cache_lookup_nanos,
             PerfMetric::Subcompaction => &mut ctx.subcompaction_nanos,
+            PerfMetric::IoBatchWait => &mut ctx.io_batch_wait_nanos,
         };
         *slot = slot.saturating_add(ns);
         c.set(ctx);

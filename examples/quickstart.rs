@@ -50,6 +50,26 @@ fn main() {
         println!("  {} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
     }
 
+    // Batched lookup: per-slot results, one overlapped I/O round per file
+    // instead of a storage round trip per key (DESIGN.md §4i).
+    let batch: Vec<Vec<u8>> = [7u32, 42, 9_999, 77]
+        .iter()
+        .map(|i| format!("user:{i:05}").into_bytes())
+        .collect();
+    let batch_refs: Vec<&[u8]> = batch.iter().map(Vec::as_slice).collect();
+    let hits = db.multi_get(&r, &batch_refs);
+    assert_eq!(hits[0].as_ref().expect("slot").as_deref(), Some(b"profile-7".as_slice()));
+    assert_eq!(hits[1].as_ref().expect("slot").as_deref(), None); // deleted
+    assert_eq!(hits[2].as_ref().expect("slot").as_deref(), Some(b"profile-9999".as_slice()));
+    assert_eq!(hits[3].as_ref().expect("slot").as_deref(), Some(b"profile-77".as_slice()));
+    let snap = db.statistics().snapshot();
+    println!(
+        "\nmulti_get({}) resolved in {} batched submission(s) carrying {} block read(s)",
+        batch.len(),
+        snap.batched_reads,
+        snap.batch_read_requests
+    );
+
     // 4. Key-management visibility: one DEK per file, all served by the KDS.
     let kstats = kds.stats();
     let rstats = db.resolver.stats();

@@ -33,6 +33,14 @@
 #           bytes parser, and the integrity bench's engagement check
 #           (HMAC runs verify every block, clean data verifies clean)
 #           (see DESIGN.md §4h).
+#   tier 8: batched-io — multi_get gate: the differential suite
+#           (multi_get ≡ serial gets across plain/EncFS/SHIELD,
+#           snapshots, memtable residents, per-slot fault isolation),
+#           plus the multiget bench's engagement check over simulated
+#           remote storage — the batch must actually reach the batched
+#           read path (nonzero batched_reads carrying several requests
+#           per submission) and scans must prefetch
+#           (see DESIGN.md §4i).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
@@ -42,7 +50,9 @@
 #           clean, and clippy -D warnings over shield-lsm so the
 #           rewritten cache/fetcher read path stays clean, and clippy
 #           -D warnings over shield-crypto so the HMAC/KDF kernels stay
-#           clean (all skipped if clippy is unavailable).
+#           clean, and clippy -D warnings over shield-env so the batched
+#           read queue and network model stay clean (all skipped if
+#           clippy is unavailable).
 #
 # Usage: scripts/verify.sh [--quick]
 #   --quick skips the release build and the tiers that need it
@@ -91,6 +101,14 @@ if [[ $quick -eq 0 ]]; then
     echo "== lint: clippy gate (shield-lsm cache/fetcher read path) =="
     if cargo clippy --version >/dev/null 2>&1; then
         cargo clippy --release -q -p shield-lsm -- -D warnings
+        echo "ok"
+    else
+        echo "skipped (cargo clippy unavailable)"
+    fi
+
+    echo "== lint: clippy gate (shield-env batched I/O + network model) =="
+    if cargo clippy --version >/dev/null 2>&1; then
+        cargo clippy --release -q -p shield-env -- -D warnings
         echo "ok"
     else
         echo "skipped (cargo clippy unavailable)"
@@ -148,6 +166,17 @@ cargo test -q --test tamper
 cargo test -q --test hostile_inputs
 if [[ $quick -eq 0 ]]; then
     cargo run --release -q -p shield-bench --bin integrity -- --smoke --out /tmp/BENCH_integrity_smoke.json
+fi
+echo "ok"
+
+echo "== tier 8: batched-io (multi_get differential suite + batching engagement) =="
+cargo test -q --test multi_get
+if [[ $quick -eq 0 ]]; then
+    cargo run --release -q -p shield-bench --bin multiget -- --smoke --out /tmp/BENCH_multiget_smoke.json
+    if ! grep -q '"batched_reads": [1-9]' /tmp/BENCH_multiget_smoke.json; then
+        echo "FAIL: smoke multiget bench reported zero batched_reads"
+        exit 1
+    fi
 fi
 echo "ok"
 

@@ -1,0 +1,264 @@
+//! Differential coverage for `Db::multi_get` (PR 7): a batched lookup
+//! must be observationally identical to N serial `get`s — slot for slot
+//! — in all three encryption modes (plain / EncFS / SHIELD), including:
+//!
+//! - keys resident in the active/immutable memtables (never fetched),
+//! - keys shadowed by tombstones at any layer,
+//! - snapshot reads (`ReadOptions::snapshot_seq`) taken mid-history,
+//! - absent keys, and
+//! - mid-batch injected read faults: a `FaultInjectionEnv` failing one
+//!   underlying SST read must error only the slots that needed that
+//!   file's data, leave every neighboring slot's bytes intact, never
+//!   park the engine (I/O faults are retryable), and succeed on retry
+//!   once disarmed.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use shield::{open_encfs, open_plain, open_shield, EncFsDb, ShieldDb, ShieldOptions};
+use shield_crypto::{Algorithm, Dek};
+use shield_env::{FaultInjectionEnv, FaultOp, FileKind, MemEnv};
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::{Db, Options, ReadOptions, WriteOptions};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Plain,
+    EncFs,
+    Shield,
+}
+
+const MODES: [Mode; 3] = [Mode::Plain, Mode::EncFs, Mode::Shield];
+
+enum Handle {
+    Plain(Db),
+    EncFs(EncFsDb),
+    Shield(ShieldDb),
+}
+
+impl Handle {
+    fn db(&self) -> &Db {
+        match self {
+            Handle::Plain(db) => db,
+            Handle::EncFs(db) => &db.db,
+            Handle::Shield(db) => &db.db,
+        }
+    }
+}
+
+/// One mode's persistent state: the fault-injection env holding the
+/// files plus the key material that must survive reopens.
+struct TestDb {
+    fenv: FaultInjectionEnv,
+    kds: Arc<LocalKds>,
+    dek: Dek,
+    mode: Mode,
+}
+
+impl TestDb {
+    fn new(mode: Mode) -> Self {
+        TestDb {
+            fenv: FaultInjectionEnv::new(Arc::new(MemEnv::new())),
+            kds: Arc::new(LocalKds::new(KdsConfig::default())),
+            dek: Dek::generate(Algorithm::Aes128Ctr),
+            mode,
+        }
+    }
+
+    /// Opens (or reopens, with a cold block cache) the database.
+    fn open(&self) -> Handle {
+        let mut opts =
+            Options::new(Arc::new(self.fenv.clone())).with_write_buffer_size(16 << 10);
+        // Small files and an eager trigger so batches span several
+        // levels and tables; tiny blocks so they span many blocks.
+        opts.block_size = 256;
+        opts.compaction.l0_compaction_trigger = 2;
+        opts.compaction.target_file_size = 32 << 10;
+        match self.mode {
+            Mode::Plain => Handle::Plain(open_plain(opts, "db").expect("open plain")),
+            Mode::EncFs => {
+                Handle::EncFs(open_encfs(opts, "db", self.dek.clone(), 0).expect("open encfs"))
+            }
+            Mode::Shield => Handle::Shield(
+                open_shield(
+                    opts,
+                    "db",
+                    ShieldOptions::new(self.kds.clone() as Arc<dyn Kds>, ServerId(1), b"pk"),
+                )
+                .expect("open shield"),
+            ),
+        }
+    }
+}
+
+fn key_bytes(i: u8) -> Vec<u8> {
+    format!("key{i:03}").into_bytes()
+}
+
+/// Asserts `multi_get(keys)` ≡ serial `get`s, slot for slot, at `ropts`.
+fn assert_batch_matches_serial(db: &Db, ropts: &ReadOptions, keys: &[Vec<u8>], label: &str) {
+    let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    let batched = db.multi_get(ropts, &refs);
+    assert_eq!(batched.len(), keys.len());
+    for (key, got) in keys.iter().zip(batched) {
+        let serial = db.get(ropts, key).unwrap_or_else(|e| panic!("serial get failed: {e}"));
+        assert_eq!(
+            got.expect("batched slot errored where serial get succeeded"),
+            serial,
+            "{label}: divergence on {:?}",
+            String::from_utf8_lossy(key)
+        );
+    }
+}
+
+/// One scripted history: puts/deletes before a flush+compact boundary
+/// (persistent layers), a snapshot, then more puts/deletes that stay in
+/// the memtable. Batched reads at both the latest state and the snapshot
+/// must match serial reads exactly.
+fn run_history(
+    mode: Mode,
+    persistent: &[(u8, bool)],
+    resident: &[(u8, bool)],
+    queries: &[u8],
+) {
+    let t = TestDb::new(mode);
+    let handle = t.open();
+    let db = handle.db();
+    let w = WriteOptions::default();
+    for &(k, is_delete) in persistent {
+        if is_delete {
+            db.delete(&w, &key_bytes(k)).unwrap();
+        } else {
+            db.put(&w, &key_bytes(k), format!("v1-{k}").as_bytes()).unwrap();
+        }
+    }
+    db.compact_all().unwrap();
+    let snap = db.snapshot();
+    for &(k, is_delete) in resident {
+        if is_delete {
+            db.delete(&w, &key_bytes(k)).unwrap();
+        } else {
+            db.put(&w, &key_bytes(k), format!("v2-{k}").as_bytes()).unwrap();
+        }
+    }
+    let keys: Vec<Vec<u8>> = queries.iter().map(|&k| key_bytes(k)).collect();
+    assert_batch_matches_serial(db, &ReadOptions::new(), &keys, "latest");
+    assert_batch_matches_serial(db, &snap.read_options(), &keys, "snapshot");
+    // And with fill_cache off (reads around the cache).
+    let ropts = ReadOptions { snapshot_seq: None, fill_cache: false };
+    assert_batch_matches_serial(db, &ropts, &keys, "no-fill");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Arbitrary histories and query batches (duplicate and absent keys
+    /// included), differentially checked in all three modes.
+    #[test]
+    fn multi_get_equals_serial_gets(
+        persistent in proptest::collection::vec((0u8..48, any::<bool>()), 8..64),
+        resident in proptest::collection::vec((0u8..48, any::<bool>()), 0..24),
+        queries in proptest::collection::vec(0u8..64, 1..48),
+    ) {
+        for mode in MODES {
+            run_history(mode, &persistent, &resident, &queries);
+        }
+    }
+}
+
+/// A large deterministic batch over cold multi-level storage: the batch
+/// must engage the batched read path (nonzero `batched_reads` ticker
+/// carrying several requests per submission) and still match serial gets.
+#[test]
+fn large_cold_batch_engages_batched_reads() {
+    for mode in MODES {
+        let t = TestDb::new(mode);
+        {
+            let handle = t.open();
+            let db = handle.db();
+            let w = WriteOptions::default();
+            for i in 0..=255u8 {
+                db.put(&w, &key_bytes(i), format!("value-{i}").as_bytes()).unwrap();
+            }
+            db.compact_all().unwrap();
+        }
+        // Reopen: cold block cache, everything on "disk".
+        let handle = t.open();
+        let db = handle.db();
+        let keys: Vec<Vec<u8>> = (0..=255u8).step_by(3).map(key_bytes).collect();
+        assert_batch_matches_serial(db, &ReadOptions::new(), &keys, "cold batch");
+        let snap = db.statistics().snapshot();
+        assert!(snap.multi_gets >= 1, "{mode:?}: multi_gets ticker never bumped");
+        assert!(snap.batched_reads > 0, "{mode:?}: batch never hit the batched read path");
+        assert!(
+            snap.batch_read_requests > snap.batched_reads,
+            "{mode:?}: batches carried {} requests over {} submissions — no batching",
+            snap.batch_read_requests,
+            snap.batched_reads
+        );
+    }
+}
+
+/// An injected read fault mid-batch must produce per-slot errors only,
+/// leave neighboring slots byte-intact, not park the engine, and clear
+/// on retry after the fault is disarmed.
+#[test]
+fn injected_fault_errors_only_affected_slots() {
+    for mode in MODES {
+        let t = TestDb::new(mode);
+        {
+            let handle = t.open();
+            let db = handle.db();
+            let w = WriteOptions::default();
+            for i in 0..=255u8 {
+                db.put(&w, &key_bytes(i), format!("value-{i}").as_bytes()).unwrap();
+            }
+            db.compact_all().unwrap();
+        }
+        // Reopen cold so the batch must actually read, then arm exactly
+        // one SST read fault.
+        let handle = t.open();
+        let db = handle.db();
+        let keys: Vec<Vec<u8>> = (0..=255u8).step_by(2).map(key_bytes).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        t.fenv.error_n_times(FileKind::Sst, FaultOp::Read, 1);
+        let results = db.multi_get(&ReadOptions::new(), &refs);
+        t.fenv.disarm_all();
+        assert_eq!(
+            t.fenv.stats().injected_for(FaultOp::Read),
+            1,
+            "{mode:?}: the armed fault never fired"
+        );
+        let failed: Vec<usize> =
+            (0..results.len()).filter(|&i| results[i].is_err()).collect();
+        assert!(!failed.is_empty(), "{mode:?}: injected read fault surfaced in no slot");
+        // Neighbors are intact: every Ok slot must carry the exact value.
+        for (i, (key, result)) in keys.iter().zip(&results).enumerate() {
+            if let Ok(got) = result {
+                let expect = format!("value-{}", i * 2).into_bytes();
+                assert_eq!(
+                    got.as_deref(),
+                    Some(expect.as_slice()),
+                    "{mode:?}: fault corrupted neighboring slot {:?}",
+                    String::from_utf8_lossy(key)
+                );
+            }
+        }
+        // An I/O fault is transient: the engine must not park...
+        assert!(
+            db.background_error().is_none(),
+            "{mode:?}: retryable I/O fault parked the engine"
+        );
+        // ...and the failed slots must succeed once the fault is gone.
+        let retry_keys: Vec<&[u8]> = failed.iter().map(|&i| keys[i].as_slice()).collect();
+        let retried = db.multi_get(&ReadOptions::new(), &retry_keys);
+        for (&i, result) in failed.iter().zip(retried) {
+            let expect = format!("value-{}", i * 2).into_bytes();
+            assert_eq!(
+                result.unwrap_or_else(|e| panic!("{mode:?}: retry still failing: {e}")).as_deref(),
+                Some(expect.as_slice()),
+                "{mode:?}: retry returned wrong bytes for slot {i}"
+            );
+        }
+    }
+}

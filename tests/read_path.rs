@@ -20,7 +20,8 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use proptest::prelude::*;
 use shield_env::{
-    Env, EnvResult, FaultInjectionEnv, FaultOp, FileKind, MemEnv, RandomAccessFile,
+    Env, EnvResult, FaultInjectionEnv, FaultOp, FileKind, MemEnv, NetworkModel, RandomAccessFile,
+    RemoteEnv,
 };
 use shield_lsm::cache::{BlockCache, BlockKind, CacheConfig, CacheKey};
 use shield_lsm::iter::InternalIterator;
@@ -326,6 +327,36 @@ fn single_flight_shares_one_injected_error() {
 // Readahead
 // ---------------------------------------------------------------------------
 
+/// A slightly-latent link over `MemEnv`: `readahead_issued` counts
+/// prefetches that actually *lead* a read, so on an instantaneous file
+/// the foreground can legitimately win every race and issue 0.
+fn latent_link(mem: MemEnv) -> RemoteEnv {
+    RemoteEnv::new(
+        Arc::new(mem),
+        NetworkModel {
+            rtt: Duration::from_micros(200),
+            bandwidth_bytes_per_sec: None,
+            write_packet_bytes: 64 * 1024,
+        },
+    )
+}
+
+/// Polls until the readahead counters go quiet (the prefetch workers are
+/// asynchronous), returning `(issued, useful)`.
+fn quiesced_readahead_counters(cache: &Arc<BlockCache>) -> (u64, u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut prev = (u64::MAX, u64::MAX);
+    loop {
+        let s = cache.stats();
+        let now = (s.readahead_issued, s.readahead_useful);
+        if now == prev || Instant::now() > deadline {
+            return now;
+        }
+        prev = now;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 /// A readahead iterator must yield byte-identical entries to a plain one,
 /// and must actually issue prefetches while scanning.
 #[test]
@@ -333,11 +364,14 @@ fn readahead_scan_yields_identical_entries() {
     let env = MemEnv::new();
     write_sst(&env, "t.sst", 500);
     let file = env.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+    let plain = Arc::new(Table::open(file, 1, None).unwrap());
 
-    let plain = Arc::new(Table::open(file.clone(), 1, None).unwrap());
+    let remote = latent_link(env);
+    let rfile = remote.new_random_access_file("t.sst", FileKind::Sst).unwrap();
     let cache = BlockCache::new(1 << 20);
     let fetcher = BlockFetcher::new(Some(cache.clone()), 4);
-    let ahead = Arc::new(Table::open_with_fetcher(file, 1, fetcher, None, Default::default()).unwrap());
+    let ahead =
+        Arc::new(Table::open_with_fetcher(rfile, 1, fetcher, None, Default::default()).unwrap());
 
     let collect = |t: &Arc<Table>| {
         let mut out = Vec::new();
@@ -354,7 +388,43 @@ fn readahead_scan_yields_identical_entries() {
     let b = collect(&ahead);
     assert_eq!(a.len(), 500);
     assert_eq!(a, b, "readahead changed scan results");
-    assert!(cache.stats().readahead_issued > 0, "depth-4 scan never prefetched");
+    let (issued, _) = quiesced_readahead_counters(&cache);
+    assert!(issued > 0, "depth-4 scan never prefetched");
+}
+
+/// Regression for the readahead-usefulness accounting (PR 7 satellite):
+/// the old scheme counted every *enqueued* prefetch as issued (even ones
+/// superseded by the foreground) and only cache-flagged hits as useful
+/// (missing foreground joins of in-flight prefetches), reporting e.g.
+/// 613 issued / 51 useful on a plain sequential scan. With honest
+/// accounting — issued when a prefetch worker actually leads a read,
+/// useful claimed on join or first hit — a sequential scan over a
+/// cache-larger-than-file table must be ≥ 80% useful.
+#[test]
+fn readahead_usefulness_is_honest_on_sequential_scan() {
+    let mem = MemEnv::new();
+    write_sst(&mem, "t.sst", 2000);
+    let remote = latent_link(mem);
+    let file = remote.new_random_access_file("t.sst", FileKind::Sst).unwrap();
+    let cache = BlockCache::new(32 << 20); // larger than the file: no eviction
+    let fetcher = BlockFetcher::new(Some(cache.clone()), 8);
+    let t = Arc::new(Table::open_with_fetcher(file, 1, fetcher, None, Default::default()).unwrap());
+    let mut it = t.iter();
+    it.seek_to_first();
+    let mut n = 0;
+    while it.valid() {
+        n += 1;
+        it.next();
+    }
+    assert_eq!(n, 2000);
+    it.status().unwrap();
+    let (issued, useful) = quiesced_readahead_counters(&cache);
+    assert!(issued > 0, "depth-8 scan never prefetched");
+    assert!(useful <= issued, "useful ({useful}) exceeds issued ({issued})");
+    assert!(
+        useful * 10 >= issued * 8,
+        "sequential-scan readahead only {useful}/{issued} useful (< 0.8)"
+    );
 }
 
 // ---------------------------------------------------------------------------
