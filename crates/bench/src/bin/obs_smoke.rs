@@ -16,8 +16,12 @@
 //!    `compaction_begin`/`compaction_end` lines pair up (and occur at
 //!    least once each).
 //! 3. **Metrics report** — `Db::metrics_report().to_json()` must carry
-//!    every `shield_metrics_v1` top-level key; the document is written
-//!    to `--out` for inspection.
+//!    every `shield_metrics_v1` top-level key, and the workload must
+//!    actually engage the paths behind the headline tickers: synced
+//!    WAL writes (`wal_syncs`), a batched lookup (`multi_gets`), and a
+//!    cold scan with readahead (`readahead_issued`) all end up nonzero
+//!    in the committed document. The document is written to `--out`
+//!    for inspection.
 
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -25,7 +29,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use shield::{open_shield, ReadOptions, ShieldOptions, WriteOptions};
-use shield_core::{perf, LogConfig, LogLevel, PerfMetric};
+use shield_core::{json, perf, LogConfig, LogLevel, PerfMetric};
 use shield_crypto::{Algorithm, CipherContext, Dek, NONCE_LEN};
 use shield_env::PosixEnv;
 use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
@@ -77,8 +81,7 @@ fn main() -> ExitCode {
     let dir = std::env::temp_dir().join(format!("shield-obs-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let path = dir.to_string_lossy().into_owned();
-    let json = run_workload(&path);
-    let log = std::fs::read_to_string(dir.join("LOG")).unwrap_or_default();
+    let (json, log) = run_workload(&path);
     let _ = std::fs::remove_dir_all(&dir);
 
     for (begin, end) in
@@ -101,9 +104,33 @@ fn main() -> ExitCode {
         "\"latencies_us\"",
         "\"tickers\"",
         "\"gauges\"",
+        "\"windows\"",
     ] {
         if !json.contains(key) {
             println!("FAIL: metrics JSON missing {key}");
+            failed = true;
+        }
+    }
+
+    // Ticker engagement: the workload is built to drive these paths, so
+    // zeros mean the instrumentation (or the path) silently regressed.
+    match json::parse(&json) {
+        Ok(doc) => {
+            for ticker in ["wal_syncs", "multi_gets", "readahead_issued", "batched_reads"] {
+                let v = doc
+                    .get("tickers")
+                    .and_then(|t| t.get(ticker))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                println!("ticker {ticker}: {v}");
+                if v <= 0.0 {
+                    println!("FAIL: ticker {ticker} is zero after an engaging workload");
+                    failed = true;
+                }
+            }
+        }
+        Err(e) => {
+            println!("FAIL: metrics JSON does not parse: {e}");
             failed = true;
         }
     }
@@ -162,33 +189,72 @@ fn measure_chunk_encrypt_ns() -> f64 {
 
 /// Runs a tiny SHIELD workload tuned to force flushes and compactions
 /// (16 KiB memtable, L0 trigger 2) and returns the final metrics JSON.
-/// Closing the DB before returning guarantees the LOG is complete.
-fn run_workload(path: &str) -> String {
-    let mut opts = Options::new(Arc::new(PosixEnv::new()));
-    opts.write_buffer_size = 16 << 10;
-    opts.compaction.l0_compaction_trigger = 2;
-    opts.info_log = Some(LogConfig { level: Some(LogLevel::Info), json: false });
+/// The DB is reopened cold before the read phase so the batched lookup
+/// and the readahead scan actually reach storage; synced writes in the
+/// write phase drive `wal_syncs`. Closing the DB before returning
+/// guarantees the LOG is complete. Returns the metrics JSON plus the
+/// concatenated LOG text of both phases (each open truncates the file).
+fn run_workload(path: &str) -> (String, String) {
+    let opts = |readahead: usize| {
+        let mut o = Options::new(Arc::new(PosixEnv::new())).with_readahead_blocks(readahead);
+        o.write_buffer_size = 16 << 10;
+        o.compaction.l0_compaction_trigger = 2;
+        o.info_log = Some(LogConfig { level: Some(LogLevel::Info), json: false });
+        o
+    };
     let kds = Arc::new(LocalKds::new(KdsConfig::default()));
-    let db = open_shield(
-        opts,
-        path,
-        ShieldOptions::new(kds as Arc<dyn Kds>, ServerId(1), b"obs-smoke"),
-    )
-    .expect("open_shield");
+    let shield_opts =
+        || ShieldOptions::new(kds.clone() as Arc<dyn Kds>, ServerId(1), b"obs-smoke");
 
-    let wopts = WriteOptions::default();
-    let value = vec![0x5au8; 256];
-    for id in 0..2_000u64 {
-        let key = format!("key-{id:06}");
-        db.put(&wopts, key.as_bytes(), &value).expect("put");
+    // Write phase: enough entries to flush and compact, then drop the
+    // handle to empty the block cache.
+    {
+        let db = open_shield(opts(0), path, shield_opts()).expect("open_shield");
+        let wopts = WriteOptions::default();
+        let value = vec![0x5au8; 256];
+        for id in 0..2_000u64 {
+            let key = format!("key-{id:06}");
+            db.put(&wopts, key.as_bytes(), &value).expect("put");
+        }
+        db.compact_all().expect("compact_all");
     }
-    db.compact_all().expect("compact_all");
+    let phase1_log =
+        std::fs::read_to_string(std::path::Path::new(path).join("LOG")).unwrap_or_default();
+
+    // Read phase, cold: serial gets, one batched lookup, a full scan
+    // with readahead enabled, and a synced write tail (the report comes
+    // from this handle, so the `wal_syncs` ticks must happen here too).
+    let db = open_shield(opts(4), path, shield_opts()).expect("reopen");
+    let value = vec![0x5au8; 256];
+    let synced = WriteOptions { sync: true };
+    for id in 0..8u64 {
+        let key = format!("sync-{id:02}");
+        db.put(&synced, key.as_bytes(), &value).expect("synced put");
+    }
     let ropts = ReadOptions::new();
     for id in (0..2_000u64).step_by(97) {
         let key = format!("key-{id:06}");
         assert!(db.get(&ropts, key.as_bytes()).expect("get").is_some());
     }
-    db.metrics_report().to_json()
+    let keys: Vec<String> = (0..2_000u64).step_by(31).map(|id| format!("key-{id:06}")).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(String::as_bytes).collect();
+    for slot in db.multi_get(&ropts, &refs) {
+        assert!(slot.expect("multi_get slot").is_some());
+    }
+    let mut iter = db.iter(&ropts).expect("iter");
+    let mut scanned = 0u64;
+    iter.seek_to_first();
+    while iter.valid() {
+        scanned += 1;
+        iter.next();
+    }
+    assert!(scanned >= 2_000, "scan saw {scanned} entries");
+    let json = db.metrics_report().to_json();
+    drop(iter);
+    drop(db);
+    let phase2_log =
+        std::fs::read_to_string(std::path::Path::new(path).join("LOG")).unwrap_or_default();
+    (json, phase1_log + &phase2_log)
 }
 
 fn die(msg: &str) -> ExitCode {

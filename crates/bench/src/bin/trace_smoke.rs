@@ -1,0 +1,326 @@
+//! Flight-recorder smoke gate — `verify.sh`'s trace tier.
+//!
+//! ```text
+//! trace_smoke [--out PATH]     # default PATH: TRACE_smoke.json
+//! ```
+//!
+//! Five checks, any failure exits non-zero:
+//!
+//! 1. **Disabled-tracing overhead** — one `trace::span()` call with no
+//!    op active (the exact hook the hot paths now carry) must cost
+//!    < 2% of encrypting one 4 KiB chunk, so compiled-in tracing is
+//!    free until someone turns it on.
+//! 2. **Trace engagement** — a cold SHIELD `multi_get(64)` over a
+//!    simulated remote env must yield exactly one trace whose root is
+//!    the op, carrying ≥ 2 batched `read_window` spans whose durations
+//!    sum to ≤ the op's wall time.
+//! 3. **Slow-op capture** — with `slow_op_threshold` = 2 ms and a 10 ms
+//!    injected env delay on SST reads, a cold get must land in the
+//!    slow-op ring with its span tree and PerfContext, and emit a
+//!    `slow_op` event.
+//! 4. **Watchdog** — with `watchdog_deadline` = 40 ms and an always-on
+//!    300 ms read delay, the stall watchdog must flag the running op
+//!    (exactly once) with a live span stack naming it.
+//! 5. **Debug bundle** — `Db::debug_bundle()` must parse as one JSON
+//!    document carrying metrics/windows/slow_ops/trace_spans/log_tail.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use shield::{open_shield, ReadOptions, ShieldDb, ShieldOptions, WriteOptions};
+use shield_core::{json, trace, Event, EventListener, JsonBuilder};
+use shield_crypto::{Algorithm, CipherContext, Dek, NONCE_LEN};
+use shield_env::{
+    Env, FaultInjectionEnv, FaultOp, FileKind, MemEnv, NetworkModel, RemoteEnv,
+};
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::Options;
+
+/// Gate: a disabled `trace::span()` must stay under this fraction of
+/// one 4 KiB chunk encryption.
+const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+#[derive(Default)]
+struct Capture {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventListener for Capture {
+    fn on_event(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+struct Fixture {
+    env: Arc<dyn Env>,
+    kds: Arc<LocalKds>,
+}
+
+impl Fixture {
+    fn new(env: Arc<dyn Env>) -> Self {
+        Fixture { env, kds: Arc::new(LocalKds::new(KdsConfig::default())) }
+    }
+
+    fn base_opts(&self) -> Options {
+        let mut opts =
+            Options::new(self.env.clone()).with_write_buffer_size(16 << 10);
+        opts.block_size = 256;
+        opts.compaction.l0_compaction_trigger = 2;
+        opts
+    }
+
+    fn open(&self, opts: Options) -> ShieldDb {
+        open_shield(
+            opts,
+            "db",
+            ShieldOptions::new(self.kds.clone() as Arc<dyn Kds>, ServerId(1), b"ts"),
+        )
+        .expect("open shield")
+    }
+
+    fn populate(&self, n: u32) {
+        let db = self.open(self.base_opts());
+        let w = WriteOptions::default();
+        for i in 0..n {
+            let key = format!("key-{i:05}");
+            db.put(&w, key.as_bytes(), format!("value-{i}").as_bytes()).expect("put");
+        }
+        db.compact_all().expect("compact_all");
+    }
+}
+
+fn key(i: u32) -> Vec<u8> {
+    format!("key-{i:05}").into_bytes()
+}
+
+fn main() -> ExitCode {
+    let mut out = "TRACE_smoke.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => return die("--out needs a path"),
+                }
+            }
+            other => return die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+    let mut j = JsonBuilder::new();
+    j.open_obj_item();
+    j.field_str("schema", "shield_trace_smoke_v1");
+
+    // 1. Disabled-tracing overhead gate.
+    let span_ns = measure_disabled_span_ns();
+    let chunk_ns = measure_chunk_encrypt_ns();
+    let ratio = span_ns / chunk_ns;
+    println!(
+        "disabled trace::span: {span_ns:.2} ns, 4 KiB encrypt: {chunk_ns:.0} ns, ratio {:.3}%",
+        ratio * 100.0
+    );
+    j.field_f64("disabled_span_ns", span_ns);
+    j.field_f64("chunk_encrypt_ns", chunk_ns);
+    j.field_f64("disabled_overhead_ratio", ratio);
+    if ratio >= MAX_DISABLED_OVERHEAD {
+        println!(
+            "FAIL: disabled trace::span costs {:.2}% of a 4 KiB chunk (gate {:.0}%)",
+            ratio * 100.0,
+            MAX_DISABLED_OVERHEAD * 100.0
+        );
+        failed = true;
+    }
+
+    // 2. Trace engagement: cold multi_get(64) over remote storage.
+    {
+        let net = NetworkModel {
+            rtt: Duration::from_micros(200),
+            bandwidth_bytes_per_sec: Some(125_000_000),
+            write_packet_bytes: 64 * 1024,
+        };
+        let fx = Fixture::new(Arc::new(RemoteEnv::new(Arc::new(MemEnv::new()), net)));
+        fx.populate(256);
+        let db = fx.open(fx.base_opts().with_tracing());
+        let keys: Vec<Vec<u8>> = (0..256).step_by(4).take(64).map(key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        for slot in db.multi_get(&ReadOptions::new(), &refs) {
+            if slot.expect("multi_get slot").is_none() {
+                println!("FAIL: multi_get lost a key");
+                failed = true;
+            }
+        }
+        let spans = db.trace_spans();
+        let roots: Vec<_> =
+            spans.iter().filter(|s| s.parent_id == 0 && s.name == "multi_get").collect();
+        let windows: Vec<_> = roots
+            .first()
+            .map(|root| {
+                spans
+                    .iter()
+                    .filter(|s| s.trace_id == root.trace_id && s.name == "read_window")
+                    .collect()
+            })
+            .unwrap_or_default();
+        let window_nanos: u64 = windows.iter().map(|s| s.dur_nanos).sum();
+        let wall_nanos = roots.first().map_or(0, |r| r.dur_nanos);
+        println!(
+            "trace: {} multi_get root(s), {} read_window span(s), {window_nanos} ns \
+             windows / {wall_nanos} ns wall",
+            roots.len(),
+            windows.len()
+        );
+        j.field_u64("multi_get_traces", roots.len() as u64);
+        j.field_u64("read_window_spans", windows.len() as u64);
+        j.field_u64("window_nanos", window_nanos);
+        j.field_u64("op_wall_nanos", wall_nanos);
+        if roots.len() != 1 {
+            println!("FAIL: expected exactly one multi_get trace");
+            failed = true;
+        }
+        if windows.len() < 2 {
+            println!("FAIL: expected >= 2 batched read_window spans");
+            failed = true;
+        }
+        if window_nanos > wall_nanos {
+            println!("FAIL: window spans exceed the op's wall time");
+            failed = true;
+        }
+    }
+
+    // 3. Slow-op capture under an injected 10 ms delay.
+    {
+        let fenv = FaultInjectionEnv::new(Arc::new(MemEnv::new()));
+        let fx = Fixture::new(Arc::new(fenv.clone()));
+        fx.populate(128);
+        let capture = Arc::new(Capture::default());
+        let db = fx.open(
+            fx.base_opts()
+                .with_slow_op_threshold(Duration::from_millis(2))
+                .with_event_listener(capture.clone()),
+        );
+        fenv.delay_n_times(FileKind::Sst, FaultOp::Read, Duration::from_millis(10), 8);
+        let got = db.get(&ReadOptions::new(), &key(17)).expect("get");
+        fenv.disarm_all();
+        let slow = db.slow_ops();
+        let captured = got.is_some() && slow.iter().any(|s| s.op == "get" && !s.spans.is_empty());
+        let event = capture.events.lock().unwrap().iter().any(|e| e.name() == "slow_op");
+        println!("slow-op: {} capture(s), event={event}", slow.len());
+        j.field_u64("slow_ops_captured", slow.len() as u64);
+        j.field_bool("slow_op_event", event);
+        if !captured || !event {
+            println!("FAIL: 10 ms-delayed get not captured as a slow op");
+            failed = true;
+        }
+    }
+
+    // 4. Watchdog fires while a read is stuck.
+    {
+        let fenv = FaultInjectionEnv::new(Arc::new(MemEnv::new()));
+        let fx = Fixture::new(Arc::new(fenv.clone()));
+        fx.populate(128);
+        let capture = Arc::new(Capture::default());
+        let db = fx.open(
+            fx.base_opts()
+                .with_watchdog_deadline(Duration::from_millis(40))
+                .with_event_listener(capture.clone()),
+        );
+        fenv.delay_always(FileKind::Sst, FaultOp::Read, Duration::from_millis(300));
+        let got = db.get(&ReadOptions::new(), &key(31)).expect("get");
+        fenv.disarm_all();
+        let flagged = capture
+            .events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e, Event::Watchdog { op: "get", .. }))
+            .count();
+        println!("watchdog: flagged {flagged} time(s)");
+        j.field_u64("watchdog_flags", flagged as u64);
+        if got.is_none() || flagged != 1 {
+            println!("FAIL: watchdog must flag the stuck get exactly once");
+            failed = true;
+        }
+
+        // 5. Debug bundle parses, on the same (traced, eventful) DB.
+        let bundle = db.debug_bundle();
+        match json::parse(&bundle) {
+            Ok(doc) => {
+                for section in ["metrics", "windows", "slow_ops", "trace_spans", "log_tail"] {
+                    if doc.get(section).is_none() {
+                        println!("FAIL: debug bundle missing section {section}");
+                        failed = true;
+                    }
+                }
+                j.field_bool("debug_bundle_parses", true);
+            }
+            Err(e) => {
+                println!("FAIL: debug bundle does not parse: {e}");
+                j.field_bool("debug_bundle_parses", false);
+                failed = true;
+            }
+        }
+    }
+
+    j.close_obj();
+    if let Err(e) = std::fs::write(&out, format!("{}\n", j.finish())) {
+        println!("FAIL: writing {out}: {e}");
+        failed = true;
+    } else {
+        println!("trace smoke report → {out}");
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("trace-smoke ok");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Best-of-3 cost of one `trace::span()` call with no op active — the
+/// exact hook the WAL, fetcher, and compaction paths now carry.
+fn measure_disabled_span_ns() -> f64 {
+    const ITERS: u32 = 200_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            let s = trace::span(black_box("bench"));
+            black_box(&s);
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    best
+}
+
+/// Best-of-3 cost of encrypting one 4 KiB chunk with the paper-default
+/// cipher.
+fn measure_chunk_encrypt_ns() -> f64 {
+    const ITERS: u32 = 2_000;
+    let dek = Dek::generate(Algorithm::Aes128Ctr);
+    let mut nonce = [0u8; NONCE_LEN];
+    shield_crypto::secure_random(&mut nonce);
+    let ctx = CipherContext::new(&dek, &nonce);
+    let mut buf = vec![0xa5u8; 4096];
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            ctx.xor_at(0, black_box(&mut buf));
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    best
+}
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

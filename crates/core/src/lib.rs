@@ -31,7 +31,8 @@ use shield_lsm::{Db, Error, Options, Result};
 pub use encfs::EncryptedEnv;
 pub use shield_lsm::{
     CompactionStyle, DbIterator, Event, EventListener, LogConfig, LogLevel, MetricsReport,
-    PerfContext, ReadOptions, Snapshot, Statistics, StatsSnapshot, WriteBatch, WriteOptions,
+    MetricsWindow, PerfContext, ReadOptions, SlowOp, Snapshot, SpanRecord, Statistics,
+    StatsSnapshot, WriteBatch, WriteOptions,
 };
 
 /// Name of the secure DEK cache file inside a database directory.

@@ -9,6 +9,10 @@
 //!   failing schedule replays exactly,
 //! * **torn writes** — an `append` persists only a prefix of its payload
 //!   before failing, modelling a power cut mid-write,
+//! * **delays** — the next N (or all) matching operations sleep for a
+//!   configured duration and then proceed *normally*, modelling a slow
+//!   or hung storage link (the trace/watchdog tier drives slow-op
+//!   capture and stall detection with these),
 //! * **crash()** — drops all data appended since the last successful
 //!   `sync` on every file written through this env, modelling a system
 //!   crash on top of envs that cannot simulate one natively.
@@ -23,6 +27,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -165,6 +170,40 @@ impl Rule {
     }
 }
 
+/// How long a delay rule keeps firing.
+enum DelayBudget {
+    /// Delay the next `remaining` matching operations, then disarm.
+    Times { remaining: u32 },
+    /// Delay every matching operation until explicitly cleared.
+    Always,
+}
+
+struct DelayRule {
+    delay: Duration,
+    budget: DelayBudget,
+}
+
+impl DelayRule {
+    /// Returns the sleep to apply for one matching operation, if any.
+    fn check(&mut self) -> Option<Duration> {
+        match &mut self.budget {
+            DelayBudget::Times { remaining } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    Some(self.delay)
+                } else {
+                    None
+                }
+            }
+            DelayBudget::Always => Some(self.delay),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        matches!(self.budget, DelayBudget::Times { remaining: 0 })
+    }
+}
+
 /// Counters for every fault this env has injected.
 #[derive(Default)]
 pub struct FaultStats {
@@ -172,6 +211,7 @@ pub struct FaultStats {
     torn_writes: AtomicU64,
     crashes: AtomicU64,
     lost_bytes: AtomicU64,
+    delays: AtomicU64,
 }
 
 impl FaultStats {
@@ -187,6 +227,7 @@ impl FaultStats {
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             lost_bytes: self.lost_bytes.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
         }
     }
 }
@@ -202,6 +243,9 @@ pub struct FaultStatsSnapshot {
     pub crashes: u64,
     /// Bytes of unsynced data dropped by crashes.
     pub lost_bytes: u64,
+    /// Operations slowed by an armed delay rule (they then succeeded
+    /// normally — delays are not errors and do not count as injected).
+    pub delays: u64,
 }
 
 impl FaultStatsSnapshot {
@@ -226,6 +270,7 @@ struct Track {
 
 struct FaultState {
     rules: Mutex<HashMap<(usize, usize), Rule>>,
+    delays: Mutex<HashMap<(usize, usize), DelayRule>>,
     files: Mutex<HashMap<String, Track>>,
     stats: FaultStats,
     listener: Mutex<Option<Arc<dyn EventListener>>>,
@@ -285,6 +330,26 @@ impl FaultState {
         fired
     }
 
+    /// Sleeps if a delay rule is armed for (kind, op). The sleep happens
+    /// outside the map lock so concurrent operations on other files are
+    /// not serialised behind an injected stall.
+    fn maybe_delay(&self, kind: FileKind, op: FaultOp) {
+        let key = (kind.index(), op.index());
+        let delay = {
+            let mut delays = self.delays.lock();
+            let Some(rule) = delays.get_mut(&key) else { return };
+            let fired = rule.check();
+            if rule.exhausted() {
+                delays.remove(&key);
+            }
+            fired
+        };
+        if let Some(d) = delay {
+            self.stats.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+        }
+    }
+
     /// Reports an injected fault to the registered listener, outside the
     /// rules lock and guarded against the sink's own I/O re-entering.
     fn emit(&self, op: FaultOp, kind: FileKind, torn: bool) {
@@ -319,6 +384,7 @@ impl FaultInjectionEnv {
             inner,
             state: Arc::new(FaultState {
                 rules: Mutex::new(HashMap::new()),
+                delays: Mutex::new(HashMap::new()),
                 files: Mutex::new(HashMap::new()),
                 stats: FaultStats::default(),
                 listener: Mutex::new(None),
@@ -376,14 +442,39 @@ impl FaultInjectionEnv {
         });
     }
 
+    /// The next `n` matching operations sleep for `delay`, then proceed
+    /// normally. Batched reads (`read_at_many`) count as one operation.
+    pub fn delay_n_times(&self, kind: FileKind, op: FaultOp, delay: Duration, n: u32) {
+        self.state.delays.lock().insert(
+            (kind.index(), op.index()),
+            DelayRule { delay, budget: DelayBudget::Times { remaining: n } },
+        );
+    }
+
+    /// Every matching operation sleeps for `delay` until
+    /// [`clear_delay`](Self::clear_delay) / [`disarm_all`](Self::disarm_all)
+    /// — a persistently slow or hung link.
+    pub fn delay_always(&self, kind: FileKind, op: FaultOp, delay: Duration) {
+        self.state
+            .delays
+            .lock()
+            .insert((kind.index(), op.index()), DelayRule { delay, budget: DelayBudget::Always });
+    }
+
+    /// Clears the delay rule for (kind, op), if any.
+    pub fn clear_delay(&self, kind: FileKind, op: FaultOp) {
+        self.state.delays.lock().remove(&(kind.index(), op.index()));
+    }
+
     /// Clears the rule for (kind, op), if any.
     pub fn disarm(&self, kind: FileKind, op: FaultOp) {
         self.state.rules.lock().remove(&(kind.index(), op.index()));
     }
 
-    /// Clears every armed rule.
+    /// Clears every armed rule, error and delay alike.
     pub fn disarm_all(&self) {
         self.state.rules.lock().clear();
+        self.state.delays.lock().clear();
     }
 
     /// Fault counters so far.
@@ -439,6 +530,7 @@ struct FaultWritable {
 
 impl WritableFile for FaultWritable {
     fn append(&mut self, data: &[u8]) -> EnvResult<()> {
+        self.state.maybe_delay(self.kind, FaultOp::Append);
         if let Some(err) = self.state.check_torn(self.kind) {
             // Persist a prefix so recovery sees a half-written record.
             let torn = &data[..data.len() / 2];
@@ -462,6 +554,7 @@ impl WritableFile for FaultWritable {
     }
 
     fn sync(&mut self) -> EnvResult<()> {
+        self.state.maybe_delay(self.kind, FaultOp::Sync);
         if let Some(err) = self.state.check(self.kind, FaultOp::Sync) {
             return Err(err);
         }
@@ -486,6 +579,7 @@ struct FaultReadable {
 
 impl RandomAccessFile for FaultReadable {
     fn read_at(&self, offset: u64, len: usize) -> EnvResult<Bytes> {
+        self.state.maybe_delay(self.kind, FaultOp::Read);
         if let Some(err) = self.state.check(self.kind, FaultOp::Read) {
             return Err(err);
         }
@@ -497,6 +591,9 @@ impl RandomAccessFile for FaultReadable {
     }
 
     fn read_at_many(&self, requests: &[ReadRequest]) -> Vec<EnvResult<Bytes>> {
+        // Delays fire once per batch (one slow round-trip), while error
+        // rules below stay per-request.
+        self.state.maybe_delay(self.kind, FaultOp::Read);
         // Fault rules are consulted once per request, not once per batch,
         // so an armed `error_n_times(.., 1)` fails exactly one slot and
         // the survivors still ride the inner batch path.
@@ -527,6 +624,7 @@ struct FaultSequential {
 
 impl SequentialFile for FaultSequential {
     fn read(&mut self, buf: &mut [u8]) -> EnvResult<usize> {
+        self.state.maybe_delay(self.kind, FaultOp::Read);
         if let Some(err) = self.state.check(self.kind, FaultOp::Read) {
             return Err(err);
         }
@@ -792,6 +890,56 @@ mod tests {
         drop(f);
         let r = env.new_random_access_file("s", FileKind::Sst).unwrap();
         assert!(matches!(r.read_at(0, 4), Err(EnvError::Corruption(_))));
+    }
+
+    #[test]
+    fn delay_n_times_slows_then_stops() {
+        let (env, _) = faulty();
+        let mut f = env.new_writable_file("s", FileKind::Sst).unwrap();
+        f.append(b"0123456789").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        env.delay_n_times(FileKind::Sst, FaultOp::Read, Duration::from_millis(20), 2);
+        let r = env.new_random_access_file("s", FileKind::Sst).unwrap();
+        let t = std::time::Instant::now();
+        assert!(r.read_at(0, 4).is_ok(), "delays are not errors");
+        assert!(r.read_at(0, 4).is_ok());
+        assert!(t.elapsed() >= Duration::from_millis(40), "two delayed reads");
+        let t = std::time::Instant::now();
+        assert!(r.read_at(0, 4).is_ok());
+        assert!(t.elapsed() < Duration::from_millis(20), "rule exhausted");
+        let s = env.stats();
+        assert_eq!(s.delays, 2);
+        assert_eq!(s.injected_total(), 0, "delays never count as injected errors");
+    }
+
+    #[test]
+    fn delay_always_until_cleared_and_batches_count_once() {
+        let (env, _) = faulty();
+        let mut f = env.new_writable_file("s", FileKind::Sst).unwrap();
+        f.append(b"0123456789").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        env.delay_always(FileKind::Sst, FaultOp::Read, Duration::from_millis(15));
+        let r = env.new_random_access_file("s", FileKind::Sst).unwrap();
+        let reqs = [
+            ReadRequest { offset: 0, len: 4 },
+            ReadRequest { offset: 4, len: 4 },
+        ];
+        let t = std::time::Instant::now();
+        assert!(r.read_at_many(&reqs).into_iter().all(|r| r.is_ok()));
+        assert!(t.elapsed() >= Duration::from_millis(15));
+        assert_eq!(env.stats().delays, 1, "one delay per batch, not per request");
+        env.clear_delay(FileKind::Sst, FaultOp::Read);
+        let t = std::time::Instant::now();
+        assert!(r.read_at(0, 4).is_ok());
+        assert!(t.elapsed() < Duration::from_millis(15));
+        // disarm_all also clears delays.
+        env.delay_always(FileKind::Sst, FaultOp::Read, Duration::from_millis(15));
+        env.disarm_all();
+        let t = std::time::Instant::now();
+        assert!(r.read_at(0, 4).is_ok());
+        assert!(t.elapsed() < Duration::from_millis(15));
     }
 
     #[test]

@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use shield_core::{perf, Event, EventDispatcher, InfoLog, LogConfig, PerfContext, PerfGuard, PerfMetric};
+use shield_core::{
+    perf, trace, Event, EventDispatcher, InfoLog, JsonBuilder, LogConfig, MetricsWindow,
+    PerfContext, PerfGuard, PerfMetric, SlowOp, SpanRecord, Tracer, WindowSample, WindowTracker,
+};
 use shield_env::{Env, FileKind};
 
 use crate::cache::BlockCache;
@@ -107,6 +110,25 @@ struct DbInner {
     op_hists: OpHistograms,
     /// Fan-out for engine events; the `LOG` file is one of its listeners.
     events: Arc<EventDispatcher>,
+    /// Flight recorder: span ring, slow-op ring, active-op registry.
+    tracer: Arc<Tracer>,
+    /// Windowed-stats differ plus the ring of recent finished windows.
+    window: Mutex<WindowTracker>,
+    /// Sleep/wake for the watchdog + stats ticker thread; shutdown
+    /// notifies `ticker_cv` under `ticker_mu` so the thread exits
+    /// promptly instead of finishing its tick.
+    ticker_mu: Mutex<()>,
+    ticker_cv: Condvar,
+}
+
+/// RAII pair for one traced operation. Field order matters: `op` drops
+/// first, so the tracer's slow-op capture still sees the live
+/// [`PerfContext`] the `perf` guard enables for the op's duration. Both
+/// are `None` when tracing is disabled — the whole struct then costs one
+/// atomic load per op.
+struct TracedOp {
+    _op: Option<shield_core::trace::OpGuard>,
+    _perf: Option<PerfGuard>,
 }
 
 /// An LSM-KVS instance.
@@ -145,6 +167,11 @@ impl Db {
         }
         // Faults injected by a wrapping fault env surface in the same LOG.
         env.set_event_listener(events.clone());
+
+        let tracer = Tracer::new(opts.trace_ring_spans, opts.slow_op_ring);
+        tracer.set_enabled(opts.trace_ops);
+        tracer.set_slow_op_threshold(opts.slow_op_threshold);
+        tracer.set_listener(events.clone());
 
         let block_cache = if opts.block_cache_bytes > 0 {
             Some(BlockCache::with_config(crate::cache::CacheConfig {
@@ -221,6 +248,10 @@ impl Db {
             sub_queue: Mutex::new(std::collections::VecDeque::new()),
             op_hists: OpHistograms::default(),
             events,
+            tracer,
+            window: Mutex::new(WindowTracker::default()),
+            ticker_mu: Mutex::new(()),
+            ticker_cv: Condvar::new(),
             opts,
         });
 
@@ -260,6 +291,13 @@ impl Db {
                 }
             }));
         }
+        // Watchdog + windowed-stats ticker (only when either is on).
+        if inner.opts.stats_dump_period.is_some()
+            || (inner.opts.trace_ops && inner.opts.watchdog_deadline.is_some())
+        {
+            let inner = inner.clone();
+            threads.push(std::thread::spawn(move || inner.ticker_loop()));
+        }
         {
             let mut state = inner.state.lock();
             inner.maybe_schedule(&mut state);
@@ -296,6 +334,7 @@ impl Db {
         }
         let op_start = std::time::Instant::now();
         let single_op = batch.count() == 1;
+        let _trace = self.inner.traced_op(if single_op { "put" } else { "write_batch" });
         let slot = Arc::new(Mutex::new(None));
         self.inner.commit_queue.lock().push(Pending {
             batch,
@@ -333,6 +372,7 @@ impl Db {
 
     /// Point lookup at the latest state (or the snapshot in `ropts`).
     pub fn get(&self, ropts: &ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _trace = self.inner.traced_op("get");
         let op_start = std::time::Instant::now();
         let result = self.get_impl(ropts, key);
         self.inner.op_hists.get.record_elapsed(op_start);
@@ -409,6 +449,7 @@ impl Db {
     /// file read per key. Errors are per-slot: a fault on one key's block
     /// never corrupts its neighbors.
     pub fn multi_get(&self, ropts: &ReadOptions, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>>> {
+        let _trace = self.inner.traced_op("multi_get");
         let op_start = std::time::Instant::now();
         let results = self.multi_get_impl(ropts, keys);
         self.inner.op_hists.multi_get.record_elapsed(op_start);
@@ -570,40 +611,78 @@ impl Db {
         self.wait_for_background_work()
     }
 
-    /// Engine counters. Gauge-style mirrors (fault-injection counts from
-    /// the env, block-cache hit/miss totals) are refreshed on each call.
+    /// Engine counters. Mirrored tickers (fault-injection counts from
+    /// the env, block-cache hit/miss totals) and gauges are refreshed on
+    /// each call.
     #[must_use]
     pub fn statistics(&self) -> Arc<Statistics> {
-        if let Some(faults) = self.inner.env.fault_stats() {
-            self.inner
-                .stats
-                .env_faults_injected
-                .store(faults.injected_total(), Ordering::Relaxed);
-        }
-        if let Some(cache) = &self.inner.block_cache {
-            let c = cache.stats();
-            let s = &self.inner.stats;
-            s.block_cache_hits.store(c.hits(), Ordering::Relaxed);
-            s.block_cache_misses.store(c.misses(), Ordering::Relaxed);
-            s.block_cache_data_hits.store(c.data_hits, Ordering::Relaxed);
-            s.block_cache_data_misses.store(c.data_misses, Ordering::Relaxed);
-            s.block_cache_index_hits.store(c.index_hits, Ordering::Relaxed);
-            s.block_cache_index_misses.store(c.index_misses, Ordering::Relaxed);
-            s.block_cache_filter_hits.store(c.filter_hits, Ordering::Relaxed);
-            s.block_cache_filter_misses.store(c.filter_misses, Ordering::Relaxed);
-            s.block_cache_singleflight_waits.store(c.singleflight_waits, Ordering::Relaxed);
-            s.block_cache_oversized_bypass.store(c.oversized_bypass, Ordering::Relaxed);
-            s.block_cache_pinned_bytes.store(c.pinned_bytes, Ordering::Relaxed);
-            s.readahead_issued.store(c.readahead_issued, Ordering::Relaxed);
-            s.readahead_useful.store(c.readahead_useful, Ordering::Relaxed);
-            s.batched_reads.store(c.batched_reads, Ordering::Relaxed);
-            s.batch_read_requests.store(c.batch_read_requests, Ordering::Relaxed);
-        }
-        self.inner
-            .stats
-            .env_inflight_reads
-            .store(shield_env::inflight_reads_peak(), Ordering::Relaxed);
+        self.inner.refresh_stat_mirrors();
         self.inner.stats.clone()
+    }
+
+    /// Slow operations captured so far (oldest first): every op whose
+    /// wall time crossed [`Options::slow_op_threshold`], with its full
+    /// span tree and [`PerfContext`] breakdown.
+    #[must_use]
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.inner.tracer.slow_ops()
+    }
+
+    /// Best-effort snapshot of the flight recorder's span ring, oldest
+    /// first. Empty unless [`Options::trace_ops`] is set.
+    #[must_use]
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.inner.tracer.recent_spans()
+    }
+
+    /// Recent windowed-stats intervals (oldest first), populated every
+    /// [`Options::stats_dump_period`].
+    #[must_use]
+    pub fn metrics_windows(&self) -> Vec<MetricsWindow> {
+        self.inner.window.lock().recent()
+    }
+
+    /// One JSON document with everything needed to debug the engine:
+    /// the full metrics report, recent stats windows, the slow-op ring,
+    /// the recent span ring, and the tail of the `LOG` file.
+    #[must_use]
+    pub fn debug_bundle(&self) -> String {
+        const LOG_TAIL_BYTES: usize = 16 * 1024;
+        let metrics = self.metrics_report().to_json();
+        let mut j = JsonBuilder::new();
+        j.open_obj_item();
+        j.field_str("schema", "shield_debug_bundle_v1");
+        j.field_raw("metrics", &metrics);
+        j.open_arr("windows");
+        for w in self.inner.window.lock().recent() {
+            w.push_json(&mut j);
+        }
+        j.close_arr();
+        j.open_arr("slow_ops");
+        for s in self.inner.tracer.slow_ops() {
+            s.push_json(&mut j);
+        }
+        j.close_arr();
+        j.open_arr("trace_spans");
+        for s in self.inner.tracer.recent_spans() {
+            s.push_json(&mut j);
+        }
+        j.close_arr();
+        let log_path = shield_env::join_path(&self.inner.path, LOG_FILE_NAME);
+        let tail = shield_env::read_file_to_vec(
+            self.inner.env.as_ref(),
+            &log_path,
+            FileKind::Other,
+        )
+        .ok()
+        .map(|bytes| {
+            let start = bytes.len().saturating_sub(LOG_TAIL_BYTES);
+            String::from_utf8_lossy(&bytes[start..]).into_owned()
+        })
+        .unwrap_or_default();
+        j.field_str("log_tail", &tail);
+        j.close_obj();
+        j.finish()
     }
 
     /// The engine's event dispatcher. Listeners added here (or via
@@ -654,6 +733,7 @@ impl Db {
             read_amplification: l0_files + deeper_nonempty,
             latencies: self.inner.op_hists.summaries(),
             tickers: snap,
+            windows: self.inner.window.lock().recent(),
         }
     }
 
@@ -775,6 +855,11 @@ impl Db {
 
     fn shutdown(&mut self) {
         self.inner.shutting_down.store(true, Ordering::Release);
+        // Wake the ticker so it observes the flag now, not a tick later.
+        {
+            let _g = self.inner.ticker_mu.lock();
+            self.inner.ticker_cv.notify_all();
+        }
         // Closing the channel stops the workers.
         self.inner.job_tx.lock().take();
         {
@@ -818,8 +903,150 @@ impl DbInner {
         LogWriter::with_integrity(file, mac_key)
     }
 
+    /// Starts a traced (and perf-contexted) op if the flight recorder is
+    /// on. Disabled cost: one atomic load.
+    fn traced_op(&self, name: &'static str) -> TracedOp {
+        let op = self.tracer.start_op(name);
+        // Enable a PerfContext for the op so a slow-op capture carries
+        // the breakdown — unless the caller already holds one (e.g.
+        // `with_perf_context`), whose accumulation we must not reset.
+        let perf = if op.is_some() && !perf::enabled() {
+            Some(PerfGuard::enable())
+        } else {
+            None
+        };
+        TracedOp { _op: op, _perf: perf }
+    }
+
+    /// Refreshes ticker mirrors (env faults, block-cache totals, gauges)
+    /// from their live sources.
+    fn refresh_stat_mirrors(&self) {
+        if let Some(faults) = self.env.fault_stats() {
+            self.stats
+                .env_faults_injected
+                .store(faults.injected_total(), Ordering::Relaxed);
+        }
+        if let Some(cache) = &self.block_cache {
+            let c = cache.stats();
+            let s = &self.stats;
+            s.block_cache_hits.store(c.hits(), Ordering::Relaxed);
+            s.block_cache_misses.store(c.misses(), Ordering::Relaxed);
+            s.block_cache_data_hits.store(c.data_hits, Ordering::Relaxed);
+            s.block_cache_data_misses.store(c.data_misses, Ordering::Relaxed);
+            s.block_cache_index_hits.store(c.index_hits, Ordering::Relaxed);
+            s.block_cache_index_misses.store(c.index_misses, Ordering::Relaxed);
+            s.block_cache_filter_hits.store(c.filter_hits, Ordering::Relaxed);
+            s.block_cache_filter_misses.store(c.filter_misses, Ordering::Relaxed);
+            s.block_cache_singleflight_waits.store(c.singleflight_waits, Ordering::Relaxed);
+            s.block_cache_oversized_bypass.store(c.oversized_bypass, Ordering::Relaxed);
+            s.block_cache_pinned_bytes.store(c.pinned_bytes, Ordering::Relaxed);
+            s.readahead_issued.store(c.readahead_issued, Ordering::Relaxed);
+            s.readahead_useful.store(c.readahead_useful, Ordering::Relaxed);
+            s.batched_reads.store(c.batched_reads, Ordering::Relaxed);
+            s.batch_read_requests.store(c.batch_read_requests, Ordering::Relaxed);
+        }
+        self.stats
+            .env_inflight_reads
+            .store(shield_env::inflight_reads_peak(), Ordering::Relaxed);
+    }
+
+    /// Watchdog + windowed-stats ticker loop. The tick is the finer of
+    /// the stats period and half the watchdog deadline, so a pinned op
+    /// is flagged within ~1.5x its deadline.
+    fn ticker_loop(&self) {
+        let stats_period = self.opts.stats_dump_period;
+        let deadline = self.opts.watchdog_deadline.filter(|_| self.opts.trace_ops);
+        let min_tick = std::time::Duration::from_millis(1);
+        let tick = match (stats_period, deadline) {
+            (Some(p), Some(d)) => p.min(d / 2).max(min_tick),
+            (Some(p), None) => p.max(min_tick),
+            (None, Some(d)) => (d / 2).max(min_tick),
+            (None, None) => return,
+        };
+        let mut next_stats = stats_period.map(|p| std::time::Instant::now() + p);
+        loop {
+            {
+                let mut g = self.ticker_mu.lock();
+                if self.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                self.ticker_cv.wait_for(&mut g, tick);
+            }
+            if self.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(d) = deadline {
+                self.check_watchdog(d);
+            }
+            if let (Some(p), Some(at)) = (stats_period, next_stats.as_mut()) {
+                if std::time::Instant::now() >= *at {
+                    *at = std::time::Instant::now() + p;
+                    self.roll_stats_window();
+                }
+            }
+        }
+    }
+
+    /// Flags traced ops pinned past `deadline` — once each, with their
+    /// live span stack.
+    fn check_watchdog(&self, deadline: std::time::Duration) {
+        let deadline_nanos = deadline.as_nanos() as u64;
+        for op in self.tracer.active_ops() {
+            if op.elapsed_nanos() >= deadline_nanos && op.flag_watchdog() {
+                self.events.emit(&Event::Watchdog {
+                    op: op.op(),
+                    trace_id: op.trace_id(),
+                    elapsed_micros: op.elapsed_nanos() / 1_000,
+                    deadline_micros: deadline.as_micros() as u64,
+                    stack: op.live_stack().join(" > "),
+                });
+            }
+        }
+    }
+
+    /// Rolls one windowed-stats interval: refresh mirrors, diff the
+    /// cumulative counters, derive interval rates, log, and store.
+    fn roll_stats_window(&self) {
+        self.refresh_stat_mirrors();
+        let snap = self.stats.snapshot();
+        let sample = WindowSample {
+            at: std::time::Instant::now(),
+            unix_micros: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
+            counters: snap.counters(),
+        };
+        let Some(mut w) = self.window.lock().diff(sample) else { return };
+        let secs = (w.duration_micros as f64 / 1e6).max(1e-9);
+        let writes_per_sec = w.delta("writes").unwrap_or(0) as f64 / secs;
+        let reads = w.delta("gets").unwrap_or(0) + w.delta("multi_gets").unwrap_or(0);
+        let reads_per_sec = reads as f64 / secs;
+        let hits = w.delta("block_cache_hits").unwrap_or(0);
+        let lookups = hits + w.delta("block_cache_misses").unwrap_or(0);
+        let cache_hit_ratio = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        let stall_fraction = (w.delta("stall_micros").unwrap_or(0) as f64
+            / w.duration_micros.max(1) as f64)
+            .min(1.0);
+        w.rates.push(("writes_per_sec", writes_per_sec));
+        w.rates.push(("reads_per_sec", reads_per_sec));
+        w.rates.push(("cache_hit_ratio", cache_hit_ratio));
+        w.rates.push(("stall_fraction", stall_fraction));
+        self.events.emit(&Event::StatsWindow {
+            seq: w.seq,
+            duration_micros: w.duration_micros,
+            writes_per_sec,
+            reads_per_sec,
+            cache_hit_ratio,
+            stall_fraction,
+        });
+        self.window.lock().store(w);
+    }
+
     /// Group-commit body, run by the leader.
     fn commit_group(&self, group: &[Pending]) -> Result<()> {
+        let mut span = trace::span("group_commit");
+        span.attr("batches", group.len() as u64);
         let mut combined = if group.len() == 1 {
             group[0].batch.clone()
         } else {
@@ -1087,6 +1314,7 @@ impl DbInner {
                 state.pending_outputs.insert(number);
                 (mem, number, state.imm.len() as u64)
             };
+            let _trace = self.traced_op("flush");
             self.events.emit(&Event::FlushBegin { immutables });
             let flush_start = std::time::Instant::now();
             let result = if mem.is_empty() {
@@ -1195,6 +1423,7 @@ impl DbInner {
                 files.iter().map(|f| f.file_size).sum(),
             ),
         };
+        let _trace = self.traced_op("compaction");
         self.events.emit(&Event::CompactionBegin {
             level: task_level,
             inputs: task_inputs,
@@ -1416,6 +1645,10 @@ impl DbInner {
 
         let mut ranges = plan.into_iter();
         let range0 = ranges.next().unwrap_or_default();
+        // Pool workers do not inherit the coordinator's trace context;
+        // capture it here and attach inside each queued closure so
+        // subcompaction spans land under the compaction's trace.
+        let tctx = trace::context();
         {
             let mut queue = self.sub_queue.lock();
             for (offset, range) in ranges.enumerate() {
@@ -1427,7 +1660,9 @@ impl DbInner {
                 let results = results.clone();
                 let remaining = remaining.clone();
                 let allocated = allocated.clone();
+                let tctx = tctx.clone();
                 queue.push_back(Box::new(move || {
+                    let _trace = tctx.as_ref().map(trace::SpanContext::attach);
                     this.run_one_subrange(
                         index,
                         &task,
@@ -1532,6 +1767,8 @@ impl DbInner {
         allocated: &Mutex<Vec<u64>>,
     ) {
         let start = std::time::Instant::now();
+        let mut span = trace::span("subcompaction");
+        span.attr("index", index as u64);
         let result = self.with_bg_retries("subcompaction", || {
             let mut alloc = || self.alloc_compaction_output(allocated);
             let mut ctx = CompactionContext {

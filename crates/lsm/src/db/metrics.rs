@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use shield_core::{AtomicHistogram, HistogramSummary, JsonBuilder};
+use shield_core::{AtomicHistogram, HistogramSummary, JsonBuilder, MetricsWindow};
 
 use crate::statistics::StatsSnapshot;
 
@@ -74,6 +74,9 @@ pub struct MetricsReport {
     pub latencies: Vec<(&'static str, HistogramSummary)>,
     /// All tickers at report time (gauges already refreshed).
     pub tickers: StatsSnapshot,
+    /// Recent windowed-stats intervals (`shield_metrics_window_v1`
+    /// objects), oldest first. Empty unless `stats_dump_period` is set.
+    pub windows: Vec<MetricsWindow>,
 }
 
 impl MetricsReport {
@@ -82,7 +85,7 @@ impl MetricsReport {
     /// Key order is fixed: `schema`, `levels`, `total_files`,
     /// `total_bytes`, `write_amplification`, `read_amplification`,
     /// `latencies_us` (one object per op with `count`/`mean`/`p50`/
-    /// `p99`/`p999`/`max`), `tickers`, `gauges`.
+    /// `p99`/`p999`/`max`), `tickers`, `gauges`, `windows`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut j = JsonBuilder::new();
@@ -123,6 +126,11 @@ impl MetricsReport {
             j.field_u64(name, value);
         }
         j.close_obj();
+        j.open_arr("windows");
+        for w in &self.windows {
+            w.push_json(&mut j);
+        }
+        j.close_arr();
         j.close_obj();
         j.finish()
     }
@@ -169,6 +177,16 @@ impl MetricsReport {
         for (name, value) in self.tickers.gauges() {
             let _ = writeln!(out, "{name:<26}{value:>14}");
         }
+        if !self.windows.is_empty() {
+            let _ = writeln!(out, "\n== windows ==");
+            for w in &self.windows {
+                let _ = write!(out, "#{:<5}{:>9}us", w.seq, w.duration_micros);
+                for (name, rate) in &w.rates {
+                    let _ = write!(out, "  {name} {rate:.2}");
+                }
+                let _ = writeln!(out);
+            }
+        }
         out
     }
 }
@@ -191,6 +209,7 @@ mod tests {
             read_amplification: 3,
             latencies: hists.summaries(),
             tickers: StatsSnapshot::default(),
+            windows: Vec::new(),
         }
     }
 
@@ -209,6 +228,7 @@ mod tests {
             "\"p999\"",
             "\"tickers\":{",
             "\"gauges\":{",
+            "\"windows\":[",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

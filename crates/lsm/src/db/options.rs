@@ -99,6 +99,28 @@ pub struct Options {
     /// open (e.g. `SHIELD_LOG=debug,json`); an unset var means `info`,
     /// and `SHIELD_LOG=off` disables the file entirely.
     pub info_log: Option<LogConfig>,
+    /// Record a hierarchical span trace (the flight recorder) for every
+    /// foreground operation and background job. Off by default: the
+    /// disabled path is one thread-local check per span site.
+    pub trace_ops: bool,
+    /// Operations slower than this are captured into the slow-op ring
+    /// (full span tree + [`shield_core::PerfContext`]) and logged at
+    /// warn level. `None` disables capture. Requires [`Options::trace_ops`].
+    pub slow_op_threshold: Option<std::time::Duration>,
+    /// How often the stats thread diffs ticker snapshots into a
+    /// [`shield_core::MetricsWindow`] (interval rates, logged and kept in
+    /// a bounded ring for [`crate::Db::metrics_windows`]). `None`
+    /// disables windowed stats.
+    pub stats_dump_period: Option<std::time::Duration>,
+    /// Traced operations/jobs still running past this deadline are
+    /// flagged once by the watchdog ([`shield_core::Event::Watchdog`]
+    /// with the live span stack). `None` disables the watchdog.
+    /// Requires [`Options::trace_ops`].
+    pub watchdog_deadline: Option<std::time::Duration>,
+    /// Completed-span ring capacity (spans, oldest overwritten first).
+    pub trace_ring_spans: usize,
+    /// Slow-op ring capacity (captured operations, oldest dropped first).
+    pub slow_op_ring: usize,
 }
 
 impl Options {
@@ -136,6 +158,12 @@ impl Options {
             statistics: Statistics::new(),
             event_listeners: Vec::new(),
             info_log: None,
+            trace_ops: false,
+            slow_op_threshold: None,
+            stats_dump_period: None,
+            watchdog_deadline: None,
+            trace_ring_spans: 4096,
+            slow_op_ring: 32,
         }
     }
 
@@ -217,6 +245,38 @@ impl Options {
         self.max_inflight_reads = depth.max(1);
         self
     }
+
+    /// Enables the flight recorder (per-op span traces).
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.trace_ops = true;
+        self
+    }
+
+    /// Enables tracing and captures ops slower than `threshold` into the
+    /// slow-op ring.
+    #[must_use]
+    pub fn with_slow_op_threshold(mut self, threshold: std::time::Duration) -> Self {
+        self.trace_ops = true;
+        self.slow_op_threshold = Some(threshold);
+        self
+    }
+
+    /// Emits a windowed stats report every `period`.
+    #[must_use]
+    pub fn with_stats_dump_period(mut self, period: std::time::Duration) -> Self {
+        self.stats_dump_period = Some(period);
+        self
+    }
+
+    /// Enables tracing and the stall watchdog: traced ops running past
+    /// `deadline` are flagged with their live span stack.
+    #[must_use]
+    pub fn with_watchdog_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.trace_ops = true;
+        self.watchdog_deadline = Some(deadline);
+        self
+    }
 }
 
 /// Per-read options.
@@ -276,5 +336,18 @@ mod tests {
         assert_eq!(o.write_buffer_size, 1 << 20);
         assert_eq!(o.max_background_jobs, 1);
         assert_eq!(o.compaction.style, CompactionStyle::Universal);
+    }
+
+    #[test]
+    fn tracing_knobs_imply_trace_ops() {
+        let o = Options::new(Arc::new(MemEnv::new()));
+        assert!(!o.trace_ops, "tracing is opt-in");
+        assert!(o.slow_op_threshold.is_none() && o.watchdog_deadline.is_none());
+        let o = Options::new(Arc::new(MemEnv::new()))
+            .with_slow_op_threshold(std::time::Duration::from_millis(5));
+        assert!(o.trace_ops, "slow-op capture needs span trees");
+        let o = Options::new(Arc::new(MemEnv::new()))
+            .with_watchdog_deadline(std::time::Duration::from_millis(50));
+        assert!(o.trace_ops, "the watchdog reports live span stacks");
     }
 }

@@ -50,7 +50,7 @@ pub use integrity::{Integrity, IntegrityOptions};
 // `shield-core` crate so embedders need only one `use shield_lsm::...`.
 pub use shield_core::{
     Event, EventDispatcher, EventListener, Histogram, HistogramSummary, InfoLog, LogConfig,
-    LogLevel, PerfContext, PerfGuard,
+    LogLevel, MetricsWindow, PerfContext, PerfGuard, SlowOp, SpanRecord, WINDOW_SCHEMA,
 };
 pub use statistics::{Statistics, StatsSnapshot};
 pub use types::{SequenceNumber, ValueType};

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use bytes::Bytes;
-use shield_core::{perf, PerfCounter, PerfMetric};
+use shield_core::{perf, trace, PerfCounter, PerfMetric};
 use shield_crypto::{crc32c, crc32c_extend, crc32c_unmask};
 use shield_env::{RandomAccessFile, ReadQueue, ReadRequest};
 
@@ -254,6 +254,8 @@ impl BlockFetcher {
         fill_cache: bool,
         integrity: Option<&IntegrityCtx>,
     ) -> Vec<Result<FetchedBlock>> {
+        let mut batch_span = trace::span("fetch_batch");
+        batch_span.attr("requests", requests.len() as u64);
         let mut out: Vec<Option<Result<FetchedBlock>>> = Vec::with_capacity(requests.len());
         out.resize_with(requests.len(), || None);
 
@@ -328,6 +330,7 @@ impl BlockFetcher {
                 c.batched_reads.fetch_add(windows.len() as u64, Ordering::Relaxed);
                 c.batch_read_requests.fetch_add(ready.len() as u64, Ordering::Relaxed);
             }
+            batch_span.attr("windows", windows.len() as u64);
             std::thread::scope(|s| {
                 let spawn_window = |range: std::ops::Range<usize>| {
                     let file = file.clone();
@@ -343,15 +346,28 @@ impl BlockFetcher {
                     // work below.
                     let next = (widx + 1 < windows.len())
                         .then(|| spawn_window(windows[widx + 1].clone()));
-                    let t = perf::timer();
-                    let raws: Vec<crate::error::Result<Bytes>> = match inflight.join() {
-                        Ok(r) => r.into_iter().map(|x| x.map_err(Error::from)).collect(),
-                        Err(_) => windows[widx]
-                            .clone()
-                            .map(|_| Err(Error::Corruption("batch read worker panicked".into())))
-                            .collect(),
+                    // The window span lives on this (coordinator) thread,
+                    // not the worker: joins are sequential here, so the
+                    // per-window durations always sum to at most the op's
+                    // wall time, and it needs no cross-thread context.
+                    let raws: Vec<crate::error::Result<Bytes>> = {
+                        let mut span = trace::span("read_window");
+                        span.attr("blocks", (windows[widx].end - windows[widx].start) as u64);
+                        let t = perf::timer();
+                        let raws = match inflight.join() {
+                            Ok(r) => r.into_iter().map(|x| x.map_err(Error::from)).collect(),
+                            Err(_) => windows[widx]
+                                .clone()
+                                .map(|_| {
+                                    Err(Error::Corruption("batch read worker panicked".into()))
+                                })
+                                .collect(),
+                        };
+                        perf::add_elapsed(PerfMetric::IoBatchWait, t);
+                        raws
                     };
-                    perf::add_elapsed(PerfMetric::IoBatchWait, t);
+                    let mut vspan = trace::span("verify_window");
+                    vspan.attr("blocks", (windows[widx].end - windows[widx].start) as u64);
                     for (slot, raw) in windows[widx].clone().zip(raws) {
                         let (i, flight, _) = &ready[slot];
                         let req = requests[*i];
@@ -498,7 +514,12 @@ impl FetcherCore {
                 cache.counters().readahead_issued.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let result = read_block(file.as_ref(), handle, kind, integrity);
+        let result = {
+            let mut span = trace::span("read_block");
+            span.attr("offset", handle.offset);
+            span.attr("len", handle.size);
+            read_block(file.as_ref(), handle, kind, integrity)
+        };
         let out = match &result {
             Ok(block) => {
                 let admitted = if fill_cache {
@@ -527,6 +548,7 @@ impl FetcherCore {
     /// A foreground join of a prefetch-initiated flight claims the
     /// prefetch as useful (exactly once).
     fn join_flight(&self, flight: &Flight, prefetched: bool) -> Result<Arc<Block>> {
+        let _span = trace::span("singleflight_wait");
         if let Some(cache) = &self.cache {
             cache.counters().singleflight_waits.fetch_add(1, Ordering::Relaxed);
         }

@@ -4,13 +4,16 @@
 //! Tickers come in two kinds and the `tickers!` macro keeps them in
 //! distinct sections, because they have different delta semantics:
 //!
-//! - **counters** are monotonic and owned by the engine; the difference
-//!   of two snapshots ([`StatsSnapshot::delta_since`]) is the activity
-//!   in the interval.
-//! - **gauges** are point-in-time values mirrored from other subsystems
-//!   (fault-injection env, DEK resolver) when a snapshot is taken;
-//!   subtracting them is meaningless, so `delta_since` carries the later
-//!   snapshot's value through unchanged.
+//! - **counters** are monotonic; the difference of two snapshots
+//!   ([`StatsSnapshot::delta_since`]) is the activity in the interval.
+//!   Whether a counter is bumped by the engine directly or mirrored
+//!   from another subsystem (cache, fault env, DEK resolver) when
+//!   [`crate::Db::statistics`] refreshes does not change that
+//!   semantics: mirrors of monotonic sources still delta correctly.
+//! - **gauges** are point-in-time values that can go *down* (pinned
+//!   bytes, in-flight high-water marks); subtracting them is
+//!   meaningless, so `delta_since` carries the later snapshot's value
+//!   through unchanged.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -135,10 +138,9 @@ tickers! {
         /// Individual block reads carried by those batch submissions,
         /// mirrored from the cache.
         batch_read_requests,
-    }
-    gauges {
         /// Block-cache lifetime hits, mirrored from the cache when
-        /// [`crate::Db::statistics`] refreshes.
+        /// [`crate::Db::statistics`] refreshes. Monotonic despite being
+        /// a mirror: snapshot deltas are the interval's hits.
         block_cache_hits,
         /// Block-cache lifetime misses, mirrored from the cache.
         block_cache_misses,
@@ -159,9 +161,6 @@ tickers! {
         block_cache_singleflight_waits,
         /// Inserts larger than a cache shard, served uncached.
         block_cache_oversized_bypass,
-        /// Bytes currently pinned in the cache by in-use handles
-        /// (open tables' index/filter blocks, live iterators).
-        block_cache_pinned_bytes,
         /// Prefetch requests issued by iterator/compaction readahead.
         readahead_issued,
         /// Prefetched blocks that were subsequently hit.
@@ -177,6 +176,11 @@ tickers! {
         /// DEK resolutions served from cache while the KDS was unreachable,
         /// mirrored from the resolver.
         resolver_degraded_hits,
+    }
+    gauges {
+        /// Bytes currently pinned in the cache by in-use handles
+        /// (open tables' index/filter blocks, live iterators).
+        block_cache_pinned_bytes,
         /// Legacy (pre-HMAC format) files opened while
         /// [`crate::integrity::Integrity::Hmac`] is on: readable but
         /// unverified until compaction rewrites them.
@@ -208,32 +212,64 @@ mod tests {
     #[test]
     fn delta_keeps_gauges_at_later_value() {
         let s = Statistics::new();
-        // A gauge mirror set high before the first snapshot, lower after:
-        // the old all-counter delta would have saturated to 0 and hidden
-        // the live value; the gauge section must carry the later reading.
-        s.resolver_retries.store(7, Ordering::Relaxed);
-        s.env_faults_injected.store(100, Ordering::Relaxed);
+        // A gauge mirror set high before the first snapshot, lower after
+        // (pinned bytes shrink as handles drop): an all-counter delta
+        // would saturate to 0 and hide the live value; the gauge section
+        // must carry the later reading.
+        s.block_cache_pinned_bytes.store(4096, Ordering::Relaxed);
+        s.env_inflight_reads.store(100, Ordering::Relaxed);
         let a = s.snapshot();
-        s.resolver_retries.store(9, Ordering::Relaxed);
-        s.env_faults_injected.store(3, Ordering::Relaxed);
+        s.block_cache_pinned_bytes.store(1024, Ordering::Relaxed);
+        s.env_inflight_reads.store(3, Ordering::Relaxed);
         let b = s.snapshot();
         let d = b.delta_since(&a);
-        assert_eq!(d.resolver_retries, 9, "gauge must not be differenced");
-        assert_eq!(d.env_faults_injected, 3, "gauge must not saturate to 0");
+        assert_eq!(d.block_cache_pinned_bytes, 1024, "gauge must not be differenced");
+        assert_eq!(d.env_inflight_reads, 3, "gauge must not saturate to 0");
         // Counters still difference.
         assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn monotonic_mirrors_are_counters() {
+        // These mirrors only ever grow, so interval deltas are meaningful
+        // — they must live in the ticker section, not with the gauges.
+        let s = Statistics::new();
+        s.block_cache_hits.store(10, Ordering::Relaxed);
+        s.readahead_issued.store(5, Ordering::Relaxed);
+        s.env_faults_injected.store(2, Ordering::Relaxed);
+        s.resolver_retries.store(1, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.block_cache_hits.store(25, Ordering::Relaxed);
+        s.readahead_issued.store(9, Ordering::Relaxed);
+        s.env_faults_injected.store(4, Ordering::Relaxed);
+        s.resolver_retries.store(3, Ordering::Relaxed);
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.block_cache_hits, 15);
+        assert_eq!(d.readahead_issued, 4);
+        assert_eq!(d.env_faults_injected, 2);
+        assert_eq!(d.resolver_retries, 2);
+        let counters = s.snapshot().counters();
+        for name in
+            ["block_cache_hits", "readahead_useful", "env_faults_injected", "resolver_failovers"]
+        {
+            assert!(counters.iter().any(|&(n, _)| n == name), "{name} must be a ticker");
+        }
+        let gauges = s.snapshot().gauges();
+        for name in ["block_cache_pinned_bytes", "env_inflight_reads"] {
+            assert!(gauges.iter().any(|&(n, _)| n == name), "{name} must stay a gauge");
+        }
     }
 
     #[test]
     fn name_value_iteration_matches_fields() {
         let s = Statistics::new();
         s.writes.fetch_add(4, Ordering::Relaxed);
-        s.resolver_failovers.store(2, Ordering::Relaxed);
+        s.block_cache_pinned_bytes.store(2, Ordering::Relaxed);
         let snap = s.snapshot();
         let counters = snap.counters();
         let gauges = snap.gauges();
         assert!(counters.iter().any(|&(n, v)| n == "writes" && v == 4));
-        assert!(gauges.iter().any(|&(n, v)| n == "resolver_failovers" && v == 2));
+        assert!(gauges.iter().any(|&(n, v)| n == "block_cache_pinned_bytes" && v == 2));
         // No ticker appears in both sections.
         for (n, _) in &counters {
             assert!(!gauges.iter().any(|(g, _)| g == n), "{n} in both sections");

@@ -102,7 +102,10 @@ impl LogWriter {
         // PerfContext wal_append covers fragmenting + buffering (and, in
         // SHIELD mode, the encryption wrapper's work inside `append`).
         let t = shield_core::perf::timer();
+        let mut span = shield_core::trace::span("wal_append");
+        span.attr("bytes", payload.len() as u64);
         let result = self.add_record_inner(payload);
+        drop(span);
         shield_core::perf::add_elapsed(shield_core::PerfMetric::WalAppend, t);
         result
     }
@@ -180,7 +183,9 @@ impl LogWriter {
     /// Makes the log durable.
     pub fn sync(&mut self) -> Result<()> {
         let t = shield_core::perf::timer();
+        let span = shield_core::trace::span("wal_sync");
         let result = self.dest.sync();
+        drop(span);
         shield_core::perf::add_elapsed(shield_core::PerfMetric::WalSync, t);
         result?;
         Ok(())

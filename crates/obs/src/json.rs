@@ -137,8 +137,233 @@ impl JsonBuilder {
         self.out.push_str(raw);
     }
 
+    /// Emit a field whose value is pre-rendered JSON (e.g. a nested
+    /// document built by another builder); the caller guarantees `raw`
+    /// is valid JSON.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.keyed(key);
+        self.out.push_str(raw);
+    }
+
     pub fn finish(self) -> String {
         self.out
+    }
+}
+
+/// A parsed JSON value. Objects preserve key order (the schemas this
+/// workspace emits are order-stable, and the golden-key tests assert on
+/// that order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup; `None` on non-objects and missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Object keys in document order; empty on non-objects.
+    #[must_use]
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            JsonValue::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (used by the schema golden-key tests and
+/// `debug_bundle` validation; strict enough for our own emitters, not a
+/// general-purpose validator).
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid utf-8".to_string());
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("short \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // BMP only; our emitters never produce surrogates.
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape \\{}", esc as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
     }
 }
 
@@ -189,5 +414,50 @@ mod tests {
         j.field_f64("y", f64::INFINITY);
         j.close_obj();
         assert_eq!(j.finish(), r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn parses_what_the_builder_emits() {
+        let mut j = JsonBuilder::new();
+        j.open_obj_item();
+        j.field_str("schema", "v1");
+        j.field_u64("n", 3);
+        j.field_f64("amp", 1.5);
+        j.field_bool("ok", true);
+        j.open_arr("xs");
+        j.item_u64(1);
+        j.item_u64(2);
+        j.close_arr();
+        j.open_obj("inner");
+        j.field_str("quoted", "a \"b\"\nc");
+        j.close_obj();
+        j.close_obj();
+        let doc = parse(&j.finish()).expect("round-trip");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("v1"));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("xs").and_then(JsonValue::as_arr).map(<[_]>::len), Some(2));
+        assert_eq!(
+            doc.get("inner").and_then(|i| i.get("quoted")).and_then(JsonValue::as_str),
+            Some("a \"b\"\nc")
+        );
+        assert_eq!(doc.keys(), vec!["schema", "n", "amp", "ok", "xs", "inner"]);
+    }
+
+    #[test]
+    fn parses_literals_whitespace_and_nesting() {
+        let doc = parse(" { \"a\" : [ null , true , -1.5e2 ] , \"b\" : { } } ").expect("parse");
+        let xs = doc.get("a").and_then(JsonValue::as_arr).expect("array");
+        assert_eq!(xs[0], JsonValue::Null);
+        assert_eq!(xs[1], JsonValue::Bool(true));
+        assert_eq!(xs[2].as_f64(), Some(-150.0));
+        assert_eq!(doc.get("b"), Some(&JsonValue::Obj(Vec::new())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,", "{\"a\":1}x", "\"unterminated", "{'a':1}"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }

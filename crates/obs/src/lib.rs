@@ -13,16 +13,26 @@
 //! - [`log`]: the typed engine [`Event`] catalog, [`EventListener`] /
 //!   [`EventDispatcher`] fan-out, and the [`InfoLog`] sink that renders
 //!   a RocksDB-style `LOG` file (level-filtered via `SHIELD_LOG`).
-//! - [`json`]: stable-JSON emission for metrics reports and sidecars.
+//! - [`json`]: stable-JSON emission for metrics reports and sidecars,
+//!   plus the minimal parser the schema golden-key tests use.
+//! - [`trace`]: the flight recorder — hierarchical per-op spans in a
+//!   bounded ring, slow-op capture, and the active-op registry the
+//!   stall watchdog scans.
+//! - [`window`]: the windowed-stats differ turning cumulative tickers
+//!   into per-interval deltas and rates (`shield_metrics_window_v1`).
 
 pub mod hist;
 pub mod json;
 pub mod log;
 pub mod perf;
+pub mod trace;
+pub mod window;
 
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
-pub use json::JsonBuilder;
+pub use json::{JsonBuilder, JsonValue};
 pub use log::{
     Event, EventDispatcher, EventListener, FieldValue, InfoLog, LogConfig, LogLevel, LogSink,
 };
 pub use perf::{PerfContext, PerfCounter, PerfGuard, PerfMetric};
+pub use trace::{ActiveOp, SlowOp, SpanContext, SpanRecord, Tracer};
+pub use window::{MetricsWindow, WindowSample, WindowTracker, WINDOW_SCHEMA};

@@ -142,6 +142,33 @@ pub enum Event {
     /// damaged) in a way its checksum alone would not prove. `offset` is
     /// the block offset for SSTs, the fragment counter for logs.
     IntegrityViolation { file: u64, offset: u64 },
+    /// An op exceeded the slow-op threshold; its full span tree and
+    /// perf breakdown are retrievable from the slow-op ring.
+    SlowOp {
+        op: &'static str,
+        trace_id: u64,
+        wall_micros: u64,
+        threshold_micros: u64,
+        spans: u64,
+    },
+    /// The stall watchdog found an op/job pinned past its deadline;
+    /// `stack` is the live span stack at flag time.
+    Watchdog {
+        op: &'static str,
+        trace_id: u64,
+        elapsed_micros: u64,
+        deadline_micros: u64,
+        stack: String,
+    },
+    /// One windowed-stats interval rolled over (rates are per-interval).
+    StatsWindow {
+        seq: u64,
+        duration_micros: u64,
+        writes_per_sec: f64,
+        reads_per_sec: f64,
+        cache_hit_ratio: f64,
+        stall_fraction: f64,
+    },
 }
 
 impl Event {
@@ -165,6 +192,9 @@ impl Event {
             Event::KdsDegradedExit => "kds_degraded_exit",
             Event::FaultInjected { .. } => "fault_injected",
             Event::IntegrityViolation { .. } => "integrity_violation",
+            Event::SlowOp { .. } => "slow_op",
+            Event::Watchdog { .. } => "watchdog",
+            Event::StatsWindow { .. } => "stats_window",
         }
     }
 
@@ -177,7 +207,8 @@ impl Event {
             | Event::CompactionBegin { .. }
             | Event::CompactionEnd { .. }
             | Event::Resume
-            | Event::KdsDegradedExit => LogLevel::Info,
+            | Event::KdsDegradedExit
+            | Event::StatsWindow { .. } => LogLevel::Info,
             // Per-subrange progress is chatty; keep it below the default
             // info LOG level.
             Event::SubcompactionBegin { .. } | Event::SubcompactionEnd { .. } => LogLevel::Debug,
@@ -185,7 +216,9 @@ impl Event {
             | Event::BackgroundRetry { .. }
             | Event::KdsRetry { .. }
             | Event::KdsFailover { .. }
-            | Event::FaultInjected { .. } => LogLevel::Warn,
+            | Event::FaultInjected { .. }
+            | Event::SlowOp { .. }
+            | Event::Watchdog { .. } => LogLevel::Warn,
             Event::BackgroundError { .. }
             | Event::KdsDegradedEnter { .. }
             | Event::IntegrityViolation { .. } => LogLevel::Error,
@@ -260,6 +293,35 @@ impl Event {
             Event::IntegrityViolation { file, offset } => vec![
                 ("file", U64(*file)),
                 ("offset", U64(*offset)),
+            ],
+            Event::SlowOp { op, trace_id, wall_micros, threshold_micros, spans } => vec![
+                ("op", Str((*op).to_string())),
+                ("trace_id", U64(*trace_id)),
+                ("wall_micros", U64(*wall_micros)),
+                ("threshold_micros", U64(*threshold_micros)),
+                ("spans", U64(*spans)),
+            ],
+            Event::Watchdog { op, trace_id, elapsed_micros, deadline_micros, stack } => vec![
+                ("op", Str((*op).to_string())),
+                ("trace_id", U64(*trace_id)),
+                ("elapsed_micros", U64(*elapsed_micros)),
+                ("deadline_micros", U64(*deadline_micros)),
+                ("stack", Str(stack.clone())),
+            ],
+            Event::StatsWindow {
+                seq,
+                duration_micros,
+                writes_per_sec,
+                reads_per_sec,
+                cache_hit_ratio,
+                stall_fraction,
+            } => vec![
+                ("seq", U64(*seq)),
+                ("duration_micros", U64(*duration_micros)),
+                ("writes_per_sec", F64(*writes_per_sec)),
+                ("reads_per_sec", F64(*reads_per_sec)),
+                ("cache_hit_ratio", F64(*cache_hit_ratio)),
+                ("stall_fraction", F64(*stall_fraction)),
             ],
         }
     }
@@ -568,6 +630,28 @@ mod tests {
             Event::KdsDegradedExit,
             Event::FaultInjected { op: "read", file_kind: "SST", torn: false },
             Event::IntegrityViolation { file: 7, offset: 4096 },
+            Event::SlowOp {
+                op: "multi_get",
+                trace_id: 3,
+                wall_micros: 12_000,
+                threshold_micros: 10_000,
+                spans: 9,
+            },
+            Event::Watchdog {
+                op: "get",
+                trace_id: 4,
+                elapsed_micros: 60_000,
+                deadline_micros: 50_000,
+                stack: "get>read_window".into(),
+            },
+            Event::StatsWindow {
+                seq: 1,
+                duration_micros: 1_000_000,
+                writes_per_sec: 1000.0,
+                reads_per_sec: 500.0,
+                cache_hit_ratio: 0.9,
+                stall_fraction: 0.01,
+            },
         ];
         let mut names = std::collections::HashSet::new();
         for e in &events {

@@ -1,0 +1,780 @@
+//! Flight-recorder tracing: hierarchical per-operation spans, a bounded
+//! span ring, a slow-op capture ring, and the active-op registry the
+//! stall watchdog scans.
+//!
+//! The design mirrors [`crate::perf`]: instrumentation sites call the
+//! free function [`span`], whose disabled fast path is a single
+//! thread-local boolean read plus a branch — no clock read, no
+//! allocation — so tracing compiled in but switched off stays within the
+//! obs-smoke <2% overhead gate. When a [`Tracer`] op is active on the
+//! thread, [`span`] opens a child of the innermost open span and records
+//! a [`SpanRecord`] (trace id, parent id, start offset, duration,
+//! `key=value` attrs) on drop.
+//!
+//! Completed spans land in a bounded ring whose slots are claimed by a
+//! lock-free `fetch_add` head (writers never wait on each other for a
+//! slot; the per-slot write itself is an uncontended mutex store). The
+//! ring overwrites oldest-first: it is a flight recorder, not an audit
+//! log.
+//!
+//! Cross-thread propagation: a scope that fans work out to helper
+//! threads captures [`context`] *before* spawning and calls
+//! [`SpanContext::attach`] inside the helper, so windowed batch reads
+//! and parallel subcompactions parent correctly under the op that
+//! issued them.
+//!
+//! Slow ops: when an op's wall time crosses the tracer's threshold, its
+//! full span tree plus the thread's [`PerfContext`] breakdown are copied
+//! into a dedicated ring ([`Tracer::slow_ops`]) and announced through
+//! the registered listener as [`Event::SlowOp`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::JsonBuilder;
+use crate::log::{Event, EventListener};
+use crate::perf::{self, PerfContext};
+
+/// Spans one op may accumulate before further children are counted as
+/// dropped instead of stored (the global ring still sees them).
+const MAX_SPANS_PER_OP: usize = 512;
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The op this span belongs to (all spans of one op share it).
+    pub trace_id: u64,
+    /// Unique within the trace; the root span is always id 1.
+    pub span_id: u64,
+    /// Parent span id; 0 for the root.
+    pub parent_id: u64,
+    /// Instrumentation-site name (e.g. `read_window`, `wal_sync`).
+    pub name: &'static str,
+    /// Start offset from the trace root's start, in microseconds.
+    pub start_rel_micros: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Numeric attributes attached via [`SpanGuard::attr`].
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// Appends this span as one JSON object item of an open array.
+    pub fn push_json(&self, j: &mut JsonBuilder) {
+        j.open_obj_item();
+        j.field_u64("trace_id", self.trace_id);
+        j.field_u64("span_id", self.span_id);
+        j.field_u64("parent_id", self.parent_id);
+        j.field_str("name", self.name);
+        j.field_u64("start_rel_micros", self.start_rel_micros);
+        j.field_u64("dur_nanos", self.dur_nanos);
+        j.open_obj("attrs");
+        for (k, v) in &self.attrs {
+            j.field_u64(k, *v);
+        }
+        j.close_obj();
+        j.close_obj();
+    }
+}
+
+/// A slow operation captured with its full span tree and perf breakdown.
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// Root op name (`get`, `multi_get`, `flush`, ...).
+    pub op: &'static str,
+    /// Trace id shared by every span in `spans`.
+    pub trace_id: u64,
+    /// Op wall time in nanoseconds.
+    pub wall_nanos: u64,
+    /// The threshold that was exceeded, in nanoseconds.
+    pub threshold_nanos: u64,
+    /// Completion time, microseconds since the Unix epoch.
+    pub unix_micros: u64,
+    /// The span tree, root first, then children in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans beyond the per-op cap that were not stored.
+    pub dropped_spans: u64,
+    /// The thread's [`PerfContext`] accumulated over the op.
+    pub perf: PerfContext,
+}
+
+impl SlowOp {
+    /// Appends this capture as one JSON object item of an open array.
+    pub fn push_json(&self, j: &mut JsonBuilder) {
+        j.open_obj_item();
+        j.field_str("op", self.op);
+        j.field_u64("trace_id", self.trace_id);
+        j.field_u64("wall_nanos", self.wall_nanos);
+        j.field_u64("threshold_nanos", self.threshold_nanos);
+        j.field_u64("unix_micros", self.unix_micros);
+        j.field_u64("dropped_spans", self.dropped_spans);
+        j.open_obj("perf");
+        for (k, v) in self.perf.fields() {
+            j.field_u64(k, v);
+        }
+        j.close_obj();
+        j.open_arr("spans");
+        for s in &self.spans {
+            s.push_json(j);
+        }
+        j.close_arr();
+        j.close_obj();
+    }
+
+    /// The capture as one standalone JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuilder::new();
+        self.push_json(&mut j);
+        j.finish()
+    }
+}
+
+/// Bounded span ring. The head is claimed lock-free with `fetch_add`;
+/// each slot is an independent mutex so concurrent writers to different
+/// slots never contend, and a writer lapping a reader simply overwrites.
+struct SpanRing {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        let i = self.head.fetch_add(1, Ordering::AcqRel) as usize % self.slots.len();
+        if let Ok(mut slot) = self.slots[i].lock() {
+            *slot = Some(rec);
+        }
+    }
+
+    /// Best-effort snapshot, oldest first. Concurrent pushes may tear
+    /// the order at the boundary; this is diagnostics, not accounting.
+    fn collect(&self) -> Vec<SpanRecord> {
+        let head = self.head.load(Ordering::Acquire) as usize;
+        let cap = self.slots.len();
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity(head - start);
+        for i in start..head {
+            if let Ok(slot) = self.slots[i % cap].lock() {
+                if let Some(r) = slot.as_ref() {
+                    out.push(r.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One in-flight traced operation; lives in the tracer's active registry
+/// until its [`OpGuard`] drops, which is what the stall watchdog scans.
+pub struct ActiveOp {
+    ring: Arc<SpanRing>,
+    op: &'static str,
+    trace_id: u64,
+    start: Instant,
+    next_span_id: AtomicU64,
+    /// Completed child spans (bounded by [`MAX_SPANS_PER_OP`]).
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+    /// Currently *open* spans as `(span_id, name)` — the live stack the
+    /// watchdog reports. May interleave across attached threads.
+    stack: Mutex<Vec<(u64, &'static str)>>,
+    /// Set once by the watchdog so a pinned op is reported exactly once.
+    flagged: AtomicBool,
+}
+
+impl ActiveOp {
+    /// Root op name.
+    #[must_use]
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Trace id of this op.
+    #[must_use]
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Nanoseconds since the op started.
+    #[must_use]
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Names of currently open spans, outermost first, rooted at the op
+    /// itself (so the stack is never empty while the op runs — a stall
+    /// in uninstrumented code still names the op that is stuck).
+    #[must_use]
+    pub fn live_stack(&self) -> Vec<&'static str> {
+        let mut names = vec![self.op];
+        if let Ok(s) = self.stack.lock() {
+            names.extend(s.iter().map(|&(_, n)| n));
+        }
+        names
+    }
+
+    /// Claims the one-shot watchdog flag; true exactly once per op.
+    pub fn flag_watchdog(&self) -> bool {
+        !self.flagged.swap(true, Ordering::AcqRel)
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        if let Ok(mut spans) = self.spans.lock() {
+            if spans.len() < MAX_SPANS_PER_OP {
+                spans.push(rec.clone());
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.ring.push(rec);
+    }
+}
+
+struct ThreadCtx {
+    op: Arc<ActiveOp>,
+    parent: u64,
+}
+
+thread_local! {
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// Is a traced op active on this thread?
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    TRACING.with(Cell::get)
+}
+
+/// Opens a child span of the innermost open span on this thread.
+///
+/// The disabled fast path (no op active) is one thread-local read and a
+/// branch; the returned guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard { inner: None };
+    }
+    SpanGuard { inner: begin_span(name) }
+}
+
+fn begin_span(name: &'static str) -> Option<SpanInner> {
+    CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        let t = ctx.as_mut()?;
+        let span_id = t.op.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let prev_parent = t.parent;
+        t.parent = span_id;
+        if let Ok(mut stack) = t.op.stack.lock() {
+            stack.push((span_id, name));
+        }
+        Some(SpanInner {
+            op: t.op.clone(),
+            span_id,
+            prev_parent,
+            name,
+            start: Instant::now(),
+            attrs: Vec::new(),
+        })
+    })
+}
+
+struct SpanInner {
+    op: Arc<ActiveOp>,
+    span_id: u64,
+    prev_parent: u64,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+/// RAII child span; records a [`SpanRecord`] when dropped.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric attribute. No-op on an inert guard.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.attrs.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let SpanInner { op, span_id, prev_parent, name, start, attrs } = inner;
+        // Restore the parent pointer if this thread is still attached to
+        // the same op (an attach guard may already have detached it).
+        CTX.with(|c| {
+            if let Some(t) = c.borrow_mut().as_mut() {
+                if Arc::ptr_eq(&t.op, &op) {
+                    t.parent = prev_parent;
+                }
+            }
+        });
+        if let Ok(mut stack) = op.stack.lock() {
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == span_id) {
+                stack.remove(pos);
+            }
+        }
+        let rec = SpanRecord {
+            trace_id: op.trace_id,
+            span_id,
+            parent_id: prev_parent,
+            name,
+            start_rel_micros: start.saturating_duration_since(op.start).as_micros() as u64,
+            dur_nanos: start.elapsed().as_nanos() as u64,
+            attrs,
+        };
+        op.record(rec);
+    }
+}
+
+/// A capture of "where in the trace am I" that can cross threads: take
+/// it with [`context`] before spawning, [`SpanContext::attach`] inside
+/// the helper thread.
+#[derive(Clone)]
+pub struct SpanContext {
+    op: Arc<ActiveOp>,
+    parent: u64,
+}
+
+/// The current thread's trace position, if an op is active.
+#[must_use]
+pub fn context() -> Option<SpanContext> {
+    if !active() {
+        return None;
+    }
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|t| SpanContext { op: t.op.clone(), parent: t.parent })
+    })
+}
+
+impl SpanContext {
+    /// Installs this context on the current thread; spans opened while
+    /// the guard lives parent under the captured span. Restores the
+    /// thread's previous state (usually: not tracing) on drop.
+    pub fn attach(&self) -> AttachGuard {
+        let prev_active = TRACING.with(|t| t.replace(true));
+        let prev = CTX.with(|c| {
+            c.borrow_mut()
+                .replace(ThreadCtx { op: self.op.clone(), parent: self.parent })
+        });
+        AttachGuard { prev_active, prev }
+    }
+}
+
+/// RAII guard for [`SpanContext::attach`].
+#[must_use = "detaches the context when dropped"]
+pub struct AttachGuard {
+    prev_active: bool,
+    prev: Option<ThreadCtx>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        TRACING.with(|t| t.set(self.prev_active));
+        let prev = self.prev.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// The flight recorder: owns the span ring, the slow-op ring, the
+/// active-op registry, and the enable switch.
+pub struct Tracer {
+    ring: Arc<SpanRing>,
+    enabled: AtomicBool,
+    next_trace_id: AtomicU64,
+    slow_threshold_nanos: AtomicU64,
+    slow: Mutex<VecDeque<SlowOp>>,
+    slow_capacity: usize,
+    active: Mutex<Vec<Arc<ActiveOp>>>,
+    listener: Mutex<Option<Arc<dyn EventListener>>>,
+}
+
+impl Tracer {
+    /// A tracer whose span ring holds `ring_capacity` spans and whose
+    /// slow-op ring holds `slow_capacity` captures. Starts disabled.
+    #[must_use]
+    pub fn new(ring_capacity: usize, slow_capacity: usize) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            ring: Arc::new(SpanRing::new(ring_capacity)),
+            enabled: AtomicBool::new(false),
+            next_trace_id: AtomicU64::new(0),
+            slow_threshold_nanos: AtomicU64::new(0),
+            slow: Mutex::new(VecDeque::new()),
+            slow_capacity: slow_capacity.max(1),
+            active: Mutex::new(Vec::new()),
+            listener: Mutex::new(None),
+        })
+    }
+
+    /// Turns span collection on or off (off = the <2% disabled path).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Is span collection on?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-op capture threshold; `None` disables capture.
+    pub fn set_slow_op_threshold(&self, threshold: Option<Duration>) {
+        let nanos = threshold.map_or(0, |d| (d.as_nanos() as u64).max(1));
+        self.slow_threshold_nanos.store(nanos, Ordering::Release);
+    }
+
+    /// Registers the listener notified of [`Event::SlowOp`] emissions.
+    pub fn set_listener(&self, listener: Arc<dyn EventListener>) {
+        if let Ok(mut l) = self.listener.lock() {
+            *l = Some(listener);
+        }
+    }
+
+    /// Starts a traced op on this thread. `None` while disabled — the
+    /// caller then skips tracing entirely for the op.
+    pub fn start_op(self: &Arc<Self>, op: &'static str) -> Option<OpGuard> {
+        if !self.enabled() {
+            return None;
+        }
+        let trace_id = self.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let active_op = Arc::new(ActiveOp {
+            ring: self.ring.clone(),
+            op,
+            trace_id,
+            start: Instant::now(),
+            next_span_id: AtomicU64::new(2),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            stack: Mutex::new(Vec::new()),
+            flagged: AtomicBool::new(false),
+        });
+        if let Ok(mut reg) = self.active.lock() {
+            reg.push(active_op.clone());
+        }
+        let prev_active = TRACING.with(|t| t.replace(true));
+        let prev_ctx = CTX.with(|c| {
+            c.borrow_mut()
+                .replace(ThreadCtx { op: active_op.clone(), parent: 1 })
+        });
+        Some(OpGuard {
+            tracer: self.clone(),
+            op: active_op,
+            prev_active,
+            prev_ctx,
+        })
+    }
+
+    /// Ops currently in flight (for the stall watchdog).
+    #[must_use]
+    pub fn active_ops(&self) -> Vec<Arc<ActiveOp>> {
+        self.active.lock().map(|reg| reg.clone()).unwrap_or_default()
+    }
+
+    /// Best-effort snapshot of the span ring, oldest first.
+    #[must_use]
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        self.ring.collect()
+    }
+
+    /// The slow-op ring, oldest first.
+    #[must_use]
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.slow
+            .lock()
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn finish_op(&self, op: &Arc<ActiveOp>) {
+        let wall = op.start.elapsed();
+        let root = SpanRecord {
+            trace_id: op.trace_id,
+            span_id: 1,
+            parent_id: 0,
+            name: op.op,
+            start_rel_micros: 0,
+            dur_nanos: wall.as_nanos() as u64,
+            attrs: Vec::new(),
+        };
+        op.ring.push(root.clone());
+        if let Ok(mut reg) = self.active.lock() {
+            reg.retain(|a| a.trace_id != op.trace_id);
+        }
+        let threshold = self.slow_threshold_nanos.load(Ordering::Acquire);
+        if threshold == 0 || (wall.as_nanos() as u64) < threshold {
+            return;
+        }
+        let children = op.spans.lock().map(|s| s.clone()).unwrap_or_default();
+        let mut spans = Vec::with_capacity(children.len() + 1);
+        spans.push(root);
+        spans.extend(children);
+        let capture = SlowOp {
+            op: op.op,
+            trace_id: op.trace_id,
+            wall_nanos: wall.as_nanos() as u64,
+            threshold_nanos: threshold,
+            unix_micros: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
+            spans,
+            dropped_spans: op.dropped.load(Ordering::Relaxed),
+            // The engine enables PerfContext for traced ops, so the
+            // breakdown is still live here (the op guard drops before
+            // the perf guard).
+            perf: perf::current(),
+        };
+        let event = Event::SlowOp {
+            op: capture.op,
+            trace_id: capture.trace_id,
+            wall_micros: capture.wall_nanos / 1_000,
+            threshold_micros: capture.threshold_nanos / 1_000,
+            spans: capture.spans.len() as u64,
+        };
+        if let Ok(mut slow) = self.slow.lock() {
+            while slow.len() >= self.slow_capacity {
+                slow.pop_front();
+            }
+            slow.push_back(capture);
+        }
+        let listener = self.listener.lock().ok().and_then(|l| l.clone());
+        if let Some(l) = listener {
+            l.on_event(&event);
+        }
+    }
+}
+
+/// RAII root of a traced op; finishes the trace (root span, slow-op
+/// check, registry removal) and restores the thread's state on drop.
+#[must_use = "the op is traced while the guard is alive"]
+pub struct OpGuard {
+    tracer: Arc<Tracer>,
+    op: Arc<ActiveOp>,
+    prev_active: bool,
+    prev_ctx: Option<ThreadCtx>,
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        TRACING.with(|t| t.set(self.prev_active));
+        let prev = self.prev_ctx.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
+        self.tracer.finish_op(&self.op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        assert!(!active());
+        let mut g = span("noop");
+        g.attr("x", 1);
+        drop(g);
+        let tracer = Tracer::new(16, 4);
+        assert!(tracer.start_op("get").is_none());
+        assert!(tracer.recent_spans().is_empty());
+        assert!(context().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let tracer = Tracer::new(64, 4);
+        tracer.set_enabled(true);
+        {
+            let _op = tracer.start_op("multi_get").expect("enabled");
+            assert!(active());
+            {
+                let mut outer = span("fetch_batch");
+                outer.attr("requests", 8);
+                {
+                    let _inner = span("read_window");
+                }
+            }
+        }
+        assert!(!active());
+        let spans = tracer.recent_spans();
+        assert_eq!(spans.len(), 3);
+        // Completion order: inner, outer, root.
+        let inner = &spans[0];
+        let outer = &spans[1];
+        let root = &spans[2];
+        assert_eq!(root.name, "multi_get");
+        assert_eq!(root.span_id, 1);
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(outer.name, "fetch_batch");
+        assert_eq!(outer.parent_id, 1);
+        assert_eq!(outer.attrs, vec![("requests", 8)]);
+        assert_eq!(inner.name, "read_window");
+        assert_eq!(inner.parent_id, outer.span_id);
+        assert_eq!(inner.trace_id, root.trace_id);
+        assert!(root.dur_nanos >= outer.dur_nanos);
+    }
+
+    #[test]
+    fn context_attaches_across_threads() {
+        let tracer = Tracer::new(64, 4);
+        tracer.set_enabled(true);
+        let _op = tracer.start_op("multi_get").expect("enabled");
+        let parent_span = span("fetch_batch");
+        let ctx = context().expect("active");
+        let handle = std::thread::spawn(move || {
+            assert!(!active(), "fresh thread starts untraced");
+            {
+                let _attach = ctx.attach();
+                let mut w = span("read_window");
+                w.attr("requests", 4);
+            }
+            assert!(!active(), "attach guard restores");
+        });
+        handle.join().expect("helper thread");
+        drop(parent_span);
+        let spans = tracer.recent_spans();
+        let window = spans.iter().find(|s| s.name == "read_window").expect("window span");
+        let batch = spans.iter().find(|s| s.name == "fetch_batch").expect("batch span");
+        assert_eq!(window.parent_id, batch.span_id);
+        assert_eq!(window.trace_id, batch.trace_id);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let tracer = Tracer::new(4, 4);
+        tracer.set_enabled(true);
+        for _ in 0..10 {
+            let _op = tracer.start_op("get").expect("enabled");
+        }
+        let spans = tracer.recent_spans();
+        assert_eq!(spans.len(), 4, "bounded at capacity");
+        // The survivors are the newest four traces.
+        let ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn slow_op_captured_with_tree_and_event() {
+        struct Capture(Mutex<Vec<String>>);
+        impl EventListener for Capture {
+            fn on_event(&self, e: &Event) {
+                if let Ok(mut v) = self.0.lock() {
+                    v.push(e.name().to_string());
+                }
+            }
+        }
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        let tracer = Tracer::new(64, 2);
+        tracer.set_enabled(true);
+        tracer.set_slow_op_threshold(Some(Duration::from_nanos(1)));
+        tracer.set_listener(capture.clone());
+        {
+            let _op = tracer.start_op("get").expect("enabled");
+            let _child = span("read_block");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let slow = tracer.slow_ops();
+        assert_eq!(slow.len(), 1);
+        let s = &slow[0];
+        assert_eq!(s.op, "get");
+        assert!(s.wall_nanos >= 1);
+        assert_eq!(s.spans[0].name, "get");
+        assert!(s.spans.iter().any(|sp| sp.name == "read_block"));
+        let json = s.to_json();
+        assert!(json.contains("\"op\":\"get\""), "{json}");
+        assert!(json.contains("\"spans\":["), "{json}");
+        assert_eq!(capture.0.lock().unwrap().as_slice(), ["slow_op"]);
+        // Ring is bounded: two more slow ops evict the first.
+        for _ in 0..2 {
+            let _op = tracer.start_op("put").expect("enabled");
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let slow = tracer.slow_ops();
+        assert_eq!(slow.len(), 2);
+        assert!(slow.iter().all(|s| s.op == "put"));
+    }
+
+    #[test]
+    fn threshold_filters_fast_ops() {
+        let tracer = Tracer::new(16, 4);
+        tracer.set_enabled(true);
+        tracer.set_slow_op_threshold(Some(Duration::from_secs(3600)));
+        {
+            let _op = tracer.start_op("get").expect("enabled");
+        }
+        assert!(tracer.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn watchdog_sees_active_ops_and_flags_once() {
+        let tracer = Tracer::new(16, 4);
+        tracer.set_enabled(true);
+        let op = tracer.start_op("compaction").expect("enabled");
+        let sp = span("subcompaction");
+        let live = tracer.active_ops();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].op(), "compaction");
+        assert_eq!(live[0].live_stack(), vec!["compaction", "subcompaction"]);
+        assert!(live[0].flag_watchdog(), "first flag claims");
+        assert!(!live[0].flag_watchdog(), "second flag is suppressed");
+        drop(sp);
+        drop(op);
+        assert!(tracer.active_ops().is_empty());
+    }
+
+    #[test]
+    fn nested_ops_restore_outer_trace() {
+        let tracer = Tracer::new(64, 4);
+        tracer.set_enabled(true);
+        let _outer = tracer.start_op("write_batch").expect("enabled");
+        let outer_ctx = context().expect("outer active");
+        {
+            let _inner = tracer.start_op("flush").expect("enabled");
+            let inner_ctx = context().expect("inner active");
+            assert_ne!(
+                inner_ctx.op.trace_id,
+                outer_ctx.op.trace_id,
+                "inner op is its own trace"
+            );
+        }
+        let restored = context().expect("outer restored");
+        assert_eq!(restored.op.trace_id, outer_ctx.op.trace_id);
+    }
+
+    #[test]
+    fn per_op_span_cap_counts_drops() {
+        let tracer = Tracer::new(8, 4);
+        tracer.set_enabled(true);
+        tracer.set_slow_op_threshold(Some(Duration::from_nanos(1)));
+        {
+            let _op = tracer.start_op("scan").expect("enabled");
+            for _ in 0..(MAX_SPANS_PER_OP + 10) {
+                let _s = span("iter_next");
+            }
+            std::thread::sleep(Duration::from_micros(10));
+        }
+        let slow = tracer.slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].dropped_spans, 10);
+        assert_eq!(slow[0].spans.len(), MAX_SPANS_PER_OP + 1);
+    }
+}

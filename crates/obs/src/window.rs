@@ -1,0 +1,232 @@
+//! Windowed stats: a differ that turns cumulative ticker snapshots into
+//! per-interval deltas and derived rates (`shield_metrics_window_v1`).
+//!
+//! The engine samples its monotonic counters every `stats_dump_period`
+//! into a [`WindowSample`] and feeds it to a [`WindowTracker`]. The
+//! tracker diffs against the previous sample ([`WindowTracker::diff`]),
+//! the caller derives whatever rates make sense at its layer (writes/s,
+//! cache hit ratio, stall fraction — the differ itself is engine-
+//! agnostic), and stores the finished [`MetricsWindow`] back
+//! ([`WindowTracker::store`]) into a bounded ring of recent windows for
+//! `debug_bundle()`-style retrieval.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::json::JsonBuilder;
+
+/// The `schema` field of one rendered window.
+pub const WINDOW_SCHEMA: &str = "shield_metrics_window_v1";
+
+/// A cumulative counter sample taken at one instant.
+#[derive(Debug, Clone)]
+pub struct WindowSample {
+    /// Monotonic sample time (for exact interval durations).
+    pub at: Instant,
+    /// Wall-clock sample time, microseconds since the Unix epoch.
+    pub unix_micros: u64,
+    /// Cumulative monotonic counters, in a stable order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// One finished stats interval.
+#[derive(Debug, Clone)]
+pub struct MetricsWindow {
+    /// 1-based window sequence number.
+    pub seq: u64,
+    /// Interval end, microseconds since the Unix epoch.
+    pub end_unix_micros: u64,
+    /// Interval length in microseconds (monotonic-clock based).
+    pub duration_micros: u64,
+    /// Counter increments over the interval, in sample order.
+    pub deltas: Vec<(&'static str, u64)>,
+    /// Derived rates/ratios filled in by the engine layer.
+    pub rates: Vec<(&'static str, f64)>,
+}
+
+impl MetricsWindow {
+    /// Appends this window as one JSON object item of an open array.
+    pub fn push_json(&self, j: &mut JsonBuilder) {
+        j.open_obj_item();
+        j.field_str("schema", WINDOW_SCHEMA);
+        j.field_u64("seq", self.seq);
+        j.field_u64("end_unix_micros", self.end_unix_micros);
+        j.field_u64("duration_micros", self.duration_micros);
+        j.open_obj("deltas");
+        for (k, v) in &self.deltas {
+            j.field_u64(k, *v);
+        }
+        j.close_obj();
+        j.open_obj("rates");
+        for (k, v) in &self.rates {
+            j.field_f64(k, *v);
+        }
+        j.close_obj();
+        j.close_obj();
+    }
+
+    /// The window as one standalone JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuilder::new();
+        self.push_json(&mut j);
+        j.finish()
+    }
+
+    /// Looks up one interval delta by counter name.
+    #[must_use]
+    pub fn delta(&self, name: &str) -> Option<u64> {
+        self.deltas.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Diffs successive [`WindowSample`]s and keeps a bounded ring of
+/// finished windows.
+pub struct WindowTracker {
+    prev: Option<WindowSample>,
+    seq: u64,
+    recent: VecDeque<MetricsWindow>,
+    capacity: usize,
+}
+
+impl WindowTracker {
+    /// A tracker retaining the most recent `capacity` windows.
+    #[must_use]
+    pub fn new(capacity: usize) -> WindowTracker {
+        WindowTracker {
+            prev: None,
+            seq: 0,
+            recent: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Diffs `sample` against the previous one. The first call only
+    /// establishes the baseline and returns `None`. Counters are matched
+    /// by name (missing names delta from zero), so the set may grow
+    /// across schema revisions without corrupting intervals.
+    pub fn diff(&mut self, sample: WindowSample) -> Option<MetricsWindow> {
+        let prev = self.prev.replace(sample);
+        let prev = prev?;
+        let current = self.prev.as_ref().expect("just replaced");
+        self.seq += 1;
+        let deltas = current
+            .counters
+            .iter()
+            .map(|&(name, now)| {
+                let before = prev
+                    .counters
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map_or(0, |&(_, v)| v);
+                (name, now.saturating_sub(before))
+            })
+            .collect();
+        Some(MetricsWindow {
+            seq: self.seq,
+            end_unix_micros: current.unix_micros,
+            duration_micros: current
+                .at
+                .saturating_duration_since(prev.at)
+                .as_micros() as u64,
+            deltas,
+            rates: Vec::new(),
+        })
+    }
+
+    /// Stores a finished window (rates filled) into the bounded ring.
+    pub fn store(&mut self, window: MetricsWindow) {
+        while self.recent.len() >= self.capacity {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(window);
+    }
+
+    /// Recent finished windows, oldest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<MetricsWindow> {
+        self.recent.iter().cloned().collect()
+    }
+}
+
+impl Default for WindowTracker {
+    fn default() -> Self {
+        WindowTracker::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(unix: u64, counters: &[(&'static str, u64)]) -> WindowSample {
+        WindowSample { at: Instant::now(), unix_micros: unix, counters: counters.to_vec() }
+    }
+
+    #[test]
+    fn first_sample_is_baseline_only() {
+        let mut t = WindowTracker::new(4);
+        assert!(t.diff(sample(1, &[("writes", 10)])).is_none());
+        assert!(t.recent().is_empty());
+    }
+
+    #[test]
+    fn diffs_by_name_and_sequences() {
+        let mut t = WindowTracker::new(4);
+        assert!(t.diff(sample(1_000, &[("writes", 10), ("gets", 5)])).is_none());
+        let w = t.diff(sample(2_000, &[("writes", 25), ("gets", 5)])).expect("second");
+        assert_eq!(w.seq, 1);
+        assert_eq!(w.end_unix_micros, 2_000);
+        assert_eq!(w.delta("writes"), Some(15));
+        assert_eq!(w.delta("gets"), Some(0));
+        let w2 = t.diff(sample(3_000, &[("writes", 30), ("gets", 9)])).expect("third");
+        assert_eq!(w2.seq, 2);
+        assert_eq!(w2.delta("writes"), Some(5));
+        assert_eq!(w2.delta("gets"), Some(4));
+    }
+
+    #[test]
+    fn new_counters_delta_from_zero() {
+        let mut t = WindowTracker::new(4);
+        assert!(t.diff(sample(1, &[("writes", 10)])).is_none());
+        let w = t.diff(sample(2, &[("writes", 10), ("flushes", 3)])).expect("second");
+        assert_eq!(w.delta("flushes"), Some(3));
+    }
+
+    #[test]
+    fn ring_is_bounded_oldest_out() {
+        let mut t = WindowTracker::new(2);
+        let _ = t.diff(sample(0, &[("writes", 0)]));
+        for i in 1..=5u64 {
+            let mut w = t.diff(sample(i, &[("writes", i)])).expect("window");
+            w.rates.push(("writes_per_sec", i as f64));
+            t.store(w);
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].seq, 4);
+        assert_eq!(recent[1].seq, 5);
+    }
+
+    #[test]
+    fn json_has_window_schema() {
+        let mut t = WindowTracker::new(2);
+        let _ = t.diff(sample(1_000_000, &[("writes", 0), ("stall_micros", 0)]));
+        let mut w = t
+            .diff(sample(2_000_000, &[("writes", 100), ("stall_micros", 50)]))
+            .expect("window");
+        w.rates.push(("writes_per_sec", 100.0));
+        w.rates.push(("stall_fraction", 0.05));
+        let json = w.to_json();
+        for key in [
+            "\"schema\":\"shield_metrics_window_v1\"",
+            "\"seq\":1",
+            "\"duration_micros\":",
+            "\"deltas\":{\"writes\":100",
+            "\"rates\":{\"writes_per_sec\":100.000",
+            "\"stall_fraction\":0.050",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

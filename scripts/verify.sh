@@ -41,6 +41,15 @@
 #           read path (nonzero batched_reads carrying several requests
 #           per submission) and scans must prefetch
 #           (see DESIGN.md §4i).
+#   tier 9: trace-smoke — flight-recorder gate: the flight_recorder
+#           suite (cold multi_get trace shape over remote storage,
+#           slow-op capture under an injected 10 ms env delay, the
+#           stall watchdog under a stuck-read fault, debug-bundle JSON)
+#           plus the metrics_schema golden-key suite, plus the
+#           trace_smoke bench: the same scenarios end to end and the
+#           < 2% disabled-overhead gate re-measured against the
+#           trace::span hook now compiled into the hot paths
+#           (see DESIGN.md §4j).
 #   lint  : no .unwrap() in library (non-test) code of the hardened
 #           engine paths crates/lsm/src/{wal.rs,sst/,db/} — recoverable
 #           errors must stay errors (see DESIGN.md §4c); plus clippy's
@@ -177,6 +186,14 @@ if [[ $quick -eq 0 ]]; then
         echo "FAIL: smoke multiget bench reported zero batched_reads"
         exit 1
     fi
+fi
+echo "ok"
+
+echo "== tier 9: trace-smoke (flight recorder + golden schema + disabled overhead) =="
+cargo test -q --test flight_recorder
+cargo test -q --test metrics_schema
+if [[ $quick -eq 0 ]]; then
+    cargo run --release -q -p shield-bench --bin trace_smoke -- --out /tmp/TRACE_smoke.json
 fi
 echo "ok"
 

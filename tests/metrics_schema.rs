@@ -1,0 +1,202 @@
+//! Golden-key contract for the stable observability JSON (PR 8): the
+//! exact key sets — names *and* order — of `shield_metrics_v1`, its
+//! `shield_metrics_window_v1` window objects, and the flight-recorder
+//! span/slow-op objects inside `shield_debug_bundle_v1`.
+//!
+//! These documents are committed as sidecars (`OBS_metrics.json`) and
+//! consumed by the bench driver; any key rename, addition, or
+//! reordering must be deliberate and show up here as a diff. The
+//! ticker/gauge split is part of the contract: PR 8 reclassified the
+//! mirrored-but-monotonic cache/readahead/fault/resolver counters as
+//! tickers, leaving only the three true point-in-time gauges.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use shield::{open_shield, ShieldDb, ShieldOptions};
+use shield_core::{json, JsonValue};
+use shield_env::MemEnv;
+use shield_kds::{Kds, KdsConfig, LocalKds, ServerId};
+use shield_lsm::{Options, ReadOptions, WriteOptions, OP_TYPES};
+
+/// Top-level keys of `shield_metrics_v1`, in emission order.
+const TOP_KEYS: [&str; 10] = [
+    "schema",
+    "levels",
+    "total_files",
+    "total_bytes",
+    "write_amplification",
+    "read_amplification",
+    "latencies_us",
+    "tickers",
+    "gauges",
+    "windows",
+];
+
+/// Every ticker (monotonic counter), in declaration order. Mirrored
+/// values (`block_cache_*`, `readahead_*`, `env_faults_injected`,
+/// `resolver_*`) are tickers too: they only ever grow, so interval
+/// deltas are meaningful.
+const TICKER_KEYS: [&str; 42] = [
+    "writes",
+    "write_groups",
+    "wal_bytes",
+    "wal_syncs",
+    "gets",
+    "gets_found",
+    "flushes",
+    "flush_bytes",
+    "compactions",
+    "compaction_micros",
+    "subcompactions",
+    "subcompaction_micros",
+    "compaction_bytes_read",
+    "compaction_bytes_written",
+    "sst_files_created",
+    "sst_files_deleted",
+    "bloom_useful",
+    "write_stalls",
+    "stall_micros",
+    "bg_retries",
+    "resumes",
+    "integrity_checks",
+    "integrity_failures",
+    "multi_gets",
+    "batched_reads",
+    "batch_read_requests",
+    "block_cache_hits",
+    "block_cache_misses",
+    "block_cache_data_hits",
+    "block_cache_data_misses",
+    "block_cache_index_hits",
+    "block_cache_index_misses",
+    "block_cache_filter_hits",
+    "block_cache_filter_misses",
+    "block_cache_singleflight_waits",
+    "block_cache_oversized_bypass",
+    "readahead_issued",
+    "readahead_useful",
+    "env_faults_injected",
+    "resolver_retries",
+    "resolver_failovers",
+    "resolver_degraded_hits",
+];
+
+/// The only true gauges: point-in-time readings that can shrink.
+const GAUGE_KEYS: [&str; 3] =
+    ["block_cache_pinned_bytes", "integrity_unprotected_files", "env_inflight_reads"];
+
+/// Keys of one `shield_metrics_window_v1` object, in emission order.
+const WINDOW_KEYS: [&str; 6] =
+    ["schema", "seq", "end_unix_micros", "duration_micros", "deltas", "rates"];
+
+/// Keys of one trace-span object, in emission order.
+const SPAN_KEYS: [&str; 7] =
+    ["trace_id", "span_id", "parent_id", "name", "start_rel_micros", "dur_nanos", "attrs"];
+
+/// Keys of one slow-op capture, in emission order.
+const SLOW_OP_KEYS: [&str; 8] = [
+    "op",
+    "trace_id",
+    "wall_nanos",
+    "threshold_nanos",
+    "unix_micros",
+    "dropped_spans",
+    "perf",
+    "spans",
+];
+
+fn open_db(opts_tweak: impl FnOnce(Options) -> Options) -> ShieldDb {
+    let mut opts =
+        Options::new(Arc::new(MemEnv::new())).with_write_buffer_size(16 << 10);
+    opts.block_size = 256;
+    opts.compaction.l0_compaction_trigger = 2;
+    let kds = Arc::new(LocalKds::new(KdsConfig::default()));
+    open_shield(
+        opts_tweak(opts),
+        "db",
+        ShieldOptions::new(kds as Arc<dyn Kds>, ServerId(1), b"schema"),
+    )
+    .expect("open shield")
+}
+
+fn workload(db: &ShieldDb) {
+    let w = WriteOptions::default();
+    for i in 0..512u32 {
+        let key = format!("key-{i:05}");
+        db.db.put(&w, key.as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+    }
+    db.db.compact_all().unwrap();
+    let r = ReadOptions::new();
+    for i in (0..512u32).step_by(17) {
+        let key = format!("key-{i:05}");
+        assert!(db.db.get(&r, key.as_bytes()).unwrap().is_some());
+    }
+}
+
+fn assert_exact_keys(value: &JsonValue, expect: &[&str], what: &str) {
+    assert_eq!(value.keys(), expect, "{what}: key set or order drifted");
+}
+
+#[test]
+fn metrics_v1_key_set_is_golden() {
+    let db = open_db(|o| o);
+    workload(&db);
+    let doc = json::parse(&db.db.metrics_report().to_json()).expect("metrics JSON parses");
+
+    assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("shield_metrics_v1"));
+    assert_exact_keys(&doc, &TOP_KEYS, "shield_metrics_v1 top level");
+    let lats = doc.get("latencies_us").expect("latencies_us");
+    assert_exact_keys(lats, &OP_TYPES, "latencies_us ops");
+    for op in OP_TYPES {
+        assert_exact_keys(
+            lats.get(op).unwrap(),
+            &["count", "mean", "p50", "p99", "p999", "max"],
+            &format!("latencies_us.{op}"),
+        );
+    }
+    assert_exact_keys(doc.get("tickers").expect("tickers"), &TICKER_KEYS, "tickers");
+    assert_exact_keys(doc.get("gauges").expect("gauges"), &GAUGE_KEYS, "gauges");
+    for level in doc.get("levels").and_then(JsonValue::as_arr).expect("levels") {
+        assert_exact_keys(level, &["level", "files", "bytes"], "levels[i]");
+    }
+}
+
+#[test]
+fn window_v1_key_set_is_golden() {
+    let db = open_db(|o| o.with_stats_dump_period(Duration::from_millis(15)));
+    workload(&db);
+    std::thread::sleep(Duration::from_millis(50));
+    let doc = json::parse(&db.db.metrics_report().to_json()).expect("metrics JSON parses");
+    let windows = doc.get("windows").and_then(JsonValue::as_arr).expect("windows");
+    assert!(!windows.is_empty(), "no window rolled at a 15 ms period");
+    for w in windows {
+        assert_eq!(
+            w.get("schema").and_then(JsonValue::as_str),
+            Some("shield_metrics_window_v1")
+        );
+        assert_exact_keys(w, &WINDOW_KEYS, "shield_metrics_window_v1");
+        // Deltas cover exactly the tickers (gauges cannot be diffed).
+        assert_exact_keys(w.get("deltas").unwrap(), &TICKER_KEYS, "window deltas");
+    }
+}
+
+#[test]
+fn trace_and_slow_op_key_sets_are_golden() {
+    let db = open_db(|o| o.with_slow_op_threshold(Duration::ZERO));
+    workload(&db);
+    let doc = json::parse(&db.db.debug_bundle()).expect("debug bundle parses");
+    let spans = doc.get("trace_spans").and_then(JsonValue::as_arr).expect("trace_spans");
+    assert!(!spans.is_empty());
+    for s in spans {
+        assert_exact_keys(s, &SPAN_KEYS, "trace span");
+    }
+    let slow = doc.get("slow_ops").and_then(JsonValue::as_arr).expect("slow_ops");
+    assert!(!slow.is_empty());
+    for s in slow {
+        assert_exact_keys(s, &SLOW_OP_KEYS, "slow op");
+        for span in s.get("spans").and_then(JsonValue::as_arr).unwrap() {
+            assert_exact_keys(span, &SPAN_KEYS, "slow-op span");
+        }
+    }
+}
